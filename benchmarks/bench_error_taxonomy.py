@@ -1,0 +1,67 @@
+"""The paper's qualitative error assessment (Section 5.2) as a table.
+
+For each model's best-scheme generation, classify every divergence from
+the gold standard into the paper's four error categories (plus structural
+catch-alls) and print the per-category counts — the quantitative version
+of the paper's qualitative discussion.
+
+Run:  pytest benchmarks/bench_error_taxonomy.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.generation import analyse_errors, generate
+from repro.generation.error_analysis import CATEGORIES
+from repro.llm import BEST_SCHEME, MODEL_NAMES
+from repro.maritime.gold import MARITIME_VOCABULARY
+
+
+@pytest.fixture(scope="module")
+def reports():
+    out = {}
+    for model in MODEL_NAMES:
+        outcome = generate(model, BEST_SCHEME[model])
+        out[model] = analyse_errors(outcome.generated, MARITIME_VOCABULARY)
+    return out
+
+
+class TestErrorTaxonomy:
+    def test_print_taxonomy_table(self, reports, capsys, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1)
+        with capsys.disabled():
+            print("\n=== error taxonomy per model (Section 5.2 categories) ===")
+            header = "%-10s" % "model" + "".join(
+                "%12s" % category.split("-")[0] for category in CATEGORIES
+            ) + "%8s" % "total"
+            print(header)
+            for model, report in reports.items():
+                counts = report.by_category()
+                row = "%-10s" % model + "".join(
+                    "%12d" % counts[category] for category in CATEGORIES
+                ) + "%8d" % len(report)
+                print(row)
+
+    def test_error_volume_tracks_similarity_ranking(self, reports):
+        assert len(reports["o1"]) < len(reports["gpt-4o"])
+        assert len(reports["gpt-4o"]) < len(reports["gemma-2"])
+
+    def test_paper_signature_errors_present(self, reports):
+        assert any(
+            "movingSpeed" in f.detail
+            for f in reports["gpt-4o"].of_category("wrong-fluent-type")
+        )
+        assert any(
+            f.activity == "loitering"
+            for f in reports["llama-3"].of_category("wrong-operator")
+        )
+        assert any(
+            "trawlingArea" in f.detail
+            for f in reports["o1"].of_category("naming-divergence")
+        )
+
+    def test_bench_analysis(self, benchmark):
+        outcome = generate("gemma-2", BEST_SCHEME["gemma-2"])
+        report = benchmark(
+            lambda: analyse_errors(outcome.generated, MARITIME_VOCABULARY)
+        )
+        assert len(report) > 0

@@ -1,0 +1,52 @@
+"""Figure 2a: similarity values of LLM-generated definitions.
+
+Regenerates the bar groups of Figure 2a (8 composite activities + 'all'
+per model, best prompting scheme) and measures the cost of the generation
+pipeline and of the similarity metric.
+
+Run:  pytest benchmarks/bench_fig2a_similarity.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.experiments.fig2a import format_table, run_fig2a
+from repro.generation import average_similarity, generate
+from repro.llm import BEST_SCHEME
+from repro.maritime.gold import gold_event_description
+from repro.similarity import event_description_similarity
+
+
+class TestFigure2a:
+    def test_print_figure(self, fig2a_result, capsys, benchmark):
+        """Print the series of Figure 2a (the reproduced figure itself)."""
+        benchmark(lambda: format_table(fig2a_result))
+        with capsys.disabled():
+            print("\n=== Figure 2a: similarity of LLM-generated definitions ===")
+            print(format_table(fig2a_result))
+            print("top-3:", ", ".join(fig2a_result.top_models(3)))
+
+    def test_bench_generation_pipeline(self, benchmark):
+        """Cost of one full prompting pipeline run (15 activities)."""
+        outcome = benchmark(lambda: generate("o1", BEST_SCHEME["o1"]))
+        assert outcome.average_similarity > 0.9
+
+    def test_bench_full_figure(self, benchmark):
+        """Cost of the whole Figure 2a experiment (6 models x 2 schemes)."""
+        result = benchmark.pedantic(run_fig2a, rounds=1, iterations=1)
+        assert set(result.top_models(3)) == {"o1", "gpt-4o", "llama-3"}
+
+
+class TestMetricCost:
+    def test_bench_full_description_similarity(self, benchmark):
+        """Def. 4.14 on two 62-rule event descriptions (the 'all' bar)."""
+        gold = gold_event_description()
+        generated = generate("gpt-4o", BEST_SCHEME["gpt-4o"]).generated
+        candidate = generated.to_event_description()
+        value = benchmark(lambda: event_description_similarity(candidate, gold))
+        assert 0 < value < 1
+
+    def test_bench_average_similarity(self, benchmark):
+        """Per-group similarity, averaged (as reported in the figure)."""
+        generated = generate("llama-3", BEST_SCHEME["llama-3"]).generated
+        value = benchmark(lambda: average_similarity(generated))
+        assert 0 < value < 1

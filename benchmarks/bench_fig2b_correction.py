@@ -1,0 +1,43 @@
+"""Figure 2b: similarities after minimal syntactic correction.
+
+Regenerates the bar groups of Figure 2b (the three best event descriptions
+after correction) and measures the cost of the correction step.
+
+Run:  pytest benchmarks/bench_fig2b_correction.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.experiments.fig2b import format_table
+from repro.generation import MANUAL_CONSTANT_RENAMES, correct_event_description, generate
+from repro.llm import BEST_SCHEME
+from repro.maritime.gold import MARITIME_VOCABULARY
+
+
+class TestFigure2b:
+    def test_print_figure(self, fig2b_result, capsys, benchmark):
+        """Print the series of Figure 2b (the reproduced figure itself)."""
+        benchmark(lambda: format_table(fig2b_result))
+        with capsys.disabled():
+            print("\n=== Figure 2b: similarities after syntactic changes ===")
+            print(format_table(fig2b_result))
+
+    def test_correction_never_hurts(self, fig2b_result):
+        for model in fig2b_result.corrected:
+            assert fig2b_result.improvement(model) >= 0
+
+    def test_bench_correction_step(self, benchmark, dataset):
+        """Cost of correcting one generated event description."""
+        outcome = generate("llama-3", BEST_SCHEME["llama-3"])
+
+        def run():
+            corrected, report = correct_event_description(
+                outcome.generated,
+                MARITIME_VOCABULARY,
+                dataset.kb,
+                manual_constant_renames=MANUAL_CONSTANT_RENAMES.get("llama-3", {}),
+            )
+            return report
+
+        report = benchmark(run)
+        assert report.total_changes >= 5  # the camel-case renames etc.

@@ -1,0 +1,58 @@
+"""Figure 2c: predictive accuracy of corrected event descriptions.
+
+Regenerates the f1-score bar groups of Figure 2c (RTEC detections with the
+corrected LLM-generated definitions vs the gold standard, per composite
+activity) and measures the cost of the recognition runs.
+
+Run:  pytest benchmarks/bench_fig2c_cer.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.experiments.fig2c import format_table, run_fig2c
+from repro.generation import run_recognition
+from repro.maritime.gold import gold_event_description
+
+
+@pytest.fixture(scope="module")
+def fig2c_result(fig2b_result, dataset):
+    return run_fig2c(fig2b=fig2b_result, dataset=dataset)
+
+
+class TestFigure2c:
+    def test_print_figure(self, fig2c_result, capsys, benchmark):
+        """Print the series of Figure 2c (the reproduced figure itself)."""
+        benchmark(lambda: format_table(fig2c_result))
+        with capsys.disabled():
+            print("\n=== Figure 2c: predictive accuracy (f1 vs gold detections) ===")
+            print(format_table(fig2c_result))
+            print(
+                "dataset: %d events over %ds"
+                % (len(fig2c_result.dataset.stream), fig2c_result.dataset.duration)
+            )
+
+    def test_paper_shape_holds(self, fig2c_result):
+        # o1 wins; the union/intersect confusion zeroes loitering for the
+        # other two; simple FVPs are comparably accurate.
+        assert fig2c_result.average_f1("o1") > fig2c_result.average_f1("gpt-4o")
+        assert fig2c_result.average_f1("o1") > fig2c_result.average_f1("llama-3")
+        assert fig2c_result.scores["gpt-4o"]["loitering"].f1 == 0.0
+        assert fig2c_result.scores["llama-3"]["loitering"].f1 == 0.0
+
+    def test_bench_gold_recognition(self, benchmark, dataset):
+        """Cost of one full RTEC run with the gold event description."""
+        result = benchmark.pedantic(
+            lambda: run_recognition(gold_event_description(), dataset, strict=True),
+            rounds=1,
+            iterations=1,
+        )
+        assert result.activity_duration("trawling") > 0
+
+    def test_bench_full_figure(self, benchmark, fig2b_result, dataset):
+        """Cost of the whole Figure 2c experiment (gold + 3 candidates)."""
+        result = benchmark.pedantic(
+            lambda: run_fig2c(fig2b=fig2b_result, dataset=dataset),
+            rounds=1,
+            iterations=1,
+        )
+        assert result.average_f1("o1") > 0.9

@@ -1,0 +1,79 @@
+"""Ablation: similarity-metric cost vs problem size.
+
+Section 4 of the paper motivates the Kuhn–Munkres algorithm by the O(n!)
+cost of naive matching and its own O(n^3) worst case. This bench measures
+the from-scratch assignment solver on growing matrices and the full
+event-description distance on growing rule sets.
+
+Run:  pytest benchmarks/bench_metric_scaling.py --benchmark-only -s
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.logic.parser import parse_program
+from repro.similarity import event_description_distance, kuhn_munkres
+
+SIZES = (10, 20, 40, 80)
+
+
+def _random_matrix(size, seed=0):
+    rng = random.Random(seed)
+    return [[rng.random() for _ in range(size)] for _ in range(size)]
+
+
+def _rule_set(count):
+    """A synthetic event description with `count` distinct simple rules."""
+    rules = []
+    for index in range(count):
+        rules.append(
+            "initiatedAt(f%d(V)=true, T) :- happensAt(e%d(V), T), "
+            "areaType(A, t%d), holdsAt(g%d(V)=true, T)." % (index, index, index, index)
+        )
+    return parse_program("\n".join(rules))
+
+
+class TestAssignmentScaling:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_bench_kuhn_munkres(self, benchmark, size):
+        matrix = _random_matrix(size)
+        _assignment, total = benchmark(lambda: kuhn_munkres(matrix))
+        assert total >= 0
+
+    def test_print_cubic_growth(self, capsys, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1)
+        rows = []
+        for size in SIZES:
+            matrix = _random_matrix(size)
+            started = time.perf_counter()
+            kuhn_munkres(matrix)
+            rows.append((size, time.perf_counter() - started))
+        with capsys.disabled():
+            print("\n=== Kuhn–Munkres runtime vs matrix size (O(n^3)) ===")
+            for size, seconds in rows:
+                print("  n=%3d  %8.4fs" % (size, seconds))
+
+
+class TestDescriptionScaling:
+    @pytest.mark.parametrize("count", (8, 16, 32))
+    def test_bench_event_description_distance(self, benchmark, count):
+        left = _rule_set(count)
+        right = _rule_set(count)[: count - 2]  # slightly smaller, forces padding
+        distance = benchmark(lambda: event_description_distance(left, right))
+        assert 0 <= distance <= 1
+
+    def test_print_rule_set_series(self, capsys, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1)
+        rows = []
+        for count in (8, 16, 32, 64):
+            left = _rule_set(count)
+            right = _rule_set(count)
+            started = time.perf_counter()
+            event_description_distance(left, right)
+            rows.append((count, time.perf_counter() - started))
+        with capsys.disabled():
+            print("\n=== event-description distance vs rule count ===")
+            for count, seconds in rows:
+                print("  rules=%3d  %8.4fs" % (count, seconds))

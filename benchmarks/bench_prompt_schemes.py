@@ -1,0 +1,55 @@
+"""Ablation: few-shot vs chain-of-thought prompting, per model.
+
+Figure 2a only reports the best scheme per model; this bench prints both
+schemes side by side — the data behind the paper's observation that
+"employing chain-of-thought prompting does not necessarily lead to more
+accurate definitions".
+
+Run:  pytest benchmarks/bench_prompt_schemes.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.generation import generate
+from repro.llm import BEST_SCHEME, CHAIN_OF_THOUGHT, FEW_SHOT, MODEL_NAMES
+from repro.llm.prompts import ZERO_SHOT
+
+
+class TestSchemeAblation:
+    def test_print_scheme_comparison(self, capsys, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1)
+        rows = []
+        for model in MODEL_NAMES:
+            few_shot = generate(model, FEW_SHOT).average_similarity
+            chain = generate(model, CHAIN_OF_THOUGHT).average_similarity
+            zero = generate(model, ZERO_SHOT).average_similarity
+            rows.append((model, few_shot, chain, zero))
+        with capsys.disabled():
+            print("\n=== zero-shot vs few-shot vs chain-of-thought (average similarity) ===")
+            print("%-10s %10s %10s %10s %8s" % ("model", "zero-shot", "few-shot", "cot", "best"))
+            for model, few_shot, chain, zero in rows:
+                best = "few-shot" if few_shot >= chain else "cot"
+                print(
+                    "%-10s %10.3f %10.3f %10.3f %8s"
+                    % (model, zero, few_shot, chain, best)
+                )
+
+    @pytest.mark.parametrize("model", MODEL_NAMES)
+    def test_zero_shot_is_poor(self, model):
+        # The paper's rationale for excluding zero-shot from the pipeline.
+        zero = generate(model, ZERO_SHOT).average_similarity
+        best = generate(model, BEST_SCHEME[model]).average_similarity
+        assert zero < best - 0.2
+
+    @pytest.mark.parametrize("model", MODEL_NAMES)
+    def test_best_scheme_wins(self, model):
+        few_shot = generate(model, FEW_SHOT).average_similarity
+        chain = generate(model, CHAIN_OF_THOUGHT).average_similarity
+        expected = BEST_SCHEME[model]
+        actual = FEW_SHOT if few_shot >= chain else CHAIN_OF_THOUGHT
+        assert actual == expected
+
+    @pytest.mark.parametrize("scheme", (FEW_SHOT, CHAIN_OF_THOUGHT))
+    def test_bench_scheme(self, benchmark, scheme):
+        outcome = benchmark(lambda: generate("gpt-4o", scheme))
+        assert 0 < outcome.average_similarity <= 1

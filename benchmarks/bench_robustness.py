@@ -1,0 +1,46 @@
+"""Ablation: Figure 2c stability across synthetic-dataset seeds.
+
+The paper evaluates on one fixed dataset; this bench repeats the CER
+accuracy experiment on several seeded fleets and reports mean ± std per
+activity, confirming the conclusions are not artefacts of one stream.
+
+Run:  pytest benchmarks/bench_robustness.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.experiments.robustness import format_table, run_robustness
+from repro.maritime.gold import COMPOSITE_ACTIVITIES
+
+
+@pytest.fixture(scope="module")
+def robustness():
+    return run_robustness(seeds=(0, 1, 2), scale=0.2)
+
+
+class TestRobustness:
+    def test_print_table(self, robustness, capsys, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1)
+        with capsys.disabled():
+            print("\n=== Figure 2c across dataset seeds (mean ± std F1) ===")
+            print(format_table(robustness))
+
+    def test_conclusions_hold_across_seeds(self, robustness):
+        # o1 wins on every seed; operator confusion zeroes loitering on all.
+        assert robustness.average_f1("o1") > robustness.average_f1("gpt-4o")
+        assert robustness.average_f1("o1") > robustness.average_f1("llama-3")
+        for model in ("gpt-4o", "llama-3"):
+            assert robustness.mean(model, "loitering") == 0.0
+            assert robustness.std(model, "loitering") == 0.0
+
+    def test_simple_fvps_stable(self, robustness):
+        for model in robustness.samples:
+            for activity in ("highSpeedNearCoast", "trawling", "drifting"):
+                assert robustness.mean(model, activity) > 0.9
+                assert robustness.std(model, activity) < 0.1
+
+    def test_bench_one_seed(self, benchmark):
+        result = benchmark.pedantic(
+            lambda: run_robustness(seeds=(3,), scale=0.15), rounds=1, iterations=1
+        )
+        assert result.average_f1("o1") > 0.9

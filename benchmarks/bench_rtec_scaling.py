@@ -1,0 +1,68 @@
+"""Ablation: RTEC runtime vs window size and stream size.
+
+Section 2 of the paper: with windowing, "the cost of reasoning depends on
+omega, instead of the size of the complete stream". This bench varies the
+window size over a fixed stream, and the stream size under a fixed window,
+and prints the resulting runtime series.
+
+Run:  pytest benchmarks/bench_rtec_scaling.py --benchmark-only -s
+"""
+
+import time
+
+import pytest
+
+from repro.maritime import build_dataset, gold_event_description
+from repro.rtec import RTECEngine
+
+
+WINDOWS = (600, 1200, 2400, 4800)
+
+
+class TestWindowScaling:
+    @pytest.mark.parametrize("window", WINDOWS)
+    def test_bench_window_size(self, benchmark, dataset, gold_engine, window):
+        result = benchmark.pedantic(
+            lambda: gold_engine.recognise(
+                dataset.stream, dataset.input_fluents, window=window
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        assert result.activity_duration("trawling") > 0
+
+    def test_print_window_series(self, dataset, gold_engine, capsys, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1)
+        rows = []
+        for window in WINDOWS:
+            started = time.perf_counter()
+            gold_engine.recognise(dataset.stream, dataset.input_fluents, window=window)
+            rows.append((window, time.perf_counter() - started))
+        with capsys.disabled():
+            print("\n=== RTEC runtime vs window size (fixed stream) ===")
+            for window, seconds in rows:
+                print("  omega=%5ds  %6.2fs" % (window, seconds))
+
+
+class TestStreamScaling:
+    @pytest.mark.parametrize("scale", (0.1, 0.2, 0.4))
+    def test_bench_stream_size(self, benchmark, scale):
+        dataset = build_dataset(seed=0, scale=scale, traffic=4)
+        engine = RTECEngine(gold_event_description(), dataset.kb, dataset.vocabulary)
+        result = benchmark.pedantic(
+            lambda: engine.recognise(dataset.stream, dataset.input_fluents, window=1200),
+            rounds=1,
+            iterations=1,
+        )
+        assert result.activity_duration("anchoredOrMoored") > 0
+
+    def test_print_throughput(self, dataset, gold_engine, capsys, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1)
+        started = time.perf_counter()
+        gold_engine.recognise(dataset.stream, dataset.input_fluents, window=1200)
+        elapsed = time.perf_counter() - started
+        with capsys.disabled():
+            print(
+                "\n=== RTEC throughput: %d events in %.2fs = %.0f events/s ==="
+                % (len(dataset.stream), elapsed, len(dataset.stream) / elapsed)
+            )

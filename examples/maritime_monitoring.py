@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Maritime situational awareness over the synthetic Brest-like fleet.
+
+Builds the synthetic AIS dataset, runs the critical-event detector, executes
+the gold-standard event description of the paper's eight composite maritime
+activities with RTEC, and prints what was recognised — once over a single
+window and once with sliding windows, showing that windowed recognition with
+inertia carry-over amalgamates to the same detections.
+
+Run:  python examples/maritime_monitoring.py [--scale 0.5] [--traffic 4]
+"""
+
+import argparse
+import time
+
+from repro.maritime import (
+    COMPOSITE_ACTIVITIES,
+    build_dataset,
+    gold_event_description,
+)
+from repro.rtec import RTECEngine
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.5, help="duration scale")
+    parser.add_argument("--traffic", type=int, default=4, help="background vessels")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--window", type=int, default=1800, help="sliding window (s)")
+    args = parser.parse_args()
+
+    started = time.time()
+    dataset = build_dataset(seed=args.seed, scale=args.scale, traffic=args.traffic)
+    print(
+        "dataset: %d vessels, %d AIS messages, %d input events, %d proximity pairs (%.1fs)"
+        % (
+            len(dataset.vessels),
+            len(dataset.messages),
+            len(dataset.stream),
+            len(dataset.input_fluents),
+            time.time() - started,
+        )
+    )
+
+    engine = RTECEngine(gold_event_description(), dataset.kb, dataset.vocabulary)
+
+    started = time.time()
+    result = engine.recognise(dataset.stream, dataset.input_fluents)
+    print("single-window recognition: %.1fs\n" % (time.time() - started))
+
+    print("%-20s %-9s %-12s instances" % ("activity", "vessels", "total time"))
+    for activity in COMPOSITE_ACTIVITIES:
+        instances = list(result.instances(activity))
+        total = sum(intervals.total_duration for _, intervals in instances)
+        names = ", ".join(sorted(str(pair.args[0]) for pair, _ in instances))
+        print("%-20s %-9d %-12s %s" % (activity, len(instances), "%ds" % total, names))
+
+    started = time.time()
+    windowed = engine.recognise(
+        dataset.stream, dataset.input_fluents, window=args.window
+    )
+    print(
+        "\nsliding-window recognition (omega=%ds): %.1fs"
+        % (args.window, time.time() - started)
+    )
+    for activity in COMPOSITE_ACTIVITIES:
+        whole = result.activity_duration(activity)
+        window = windowed.activity_duration(activity)
+        drift = abs(whole - window) / whole if whole else 0.0
+        print("  %-20s single=%6ds windowed=%6ds (drift %.1f%%)" % (
+            activity, whole, window, 100 * drift))
+
+
+if __name__ == "__main__":
+    main()

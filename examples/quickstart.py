@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: define a composite activity in RTEC and recognise it.
+
+Builds a tiny event description by hand (the 'withinArea' definition of the
+paper plus a statically determined fluent on top), feeds a hand-written
+event stream to the engine, and queries the recognised maximal intervals.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.logic.knowledge import KnowledgeBase
+from repro.logic.parser import parse_term
+from repro.rtec import Event, EventDescription, EventStream, RTECEngine, Vocabulary
+
+RULES = """
+% The paper's running example: a vessel is within an area of some type
+% from the moment it enters it until it leaves it (or goes silent).
+initiatedAt(withinArea(Vessel, AreaType)=true, T) :-
+    happensAt(entersArea(Vessel, Area), T),
+    areaType(Area, AreaType).
+
+terminatedAt(withinArea(Vessel, AreaType)=true, T) :-
+    happensAt(leavesArea(Vessel, Area), T),
+    areaType(Area, AreaType).
+
+terminatedAt(withinArea(Vessel, AreaType)=true, T) :-
+    happensAt(gap_start(Vessel), T).
+
+% A statically determined fluent: a vessel is 'observed' in protected
+% waters while it is within a fishing OR a natura area.
+holdsFor(inProtectedWaters(Vessel)=true, I) :-
+    holdsFor(withinArea(Vessel, fishing)=true, I1),
+    holdsFor(withinArea(Vessel, natura)=true, I2),
+    union_all([I1, I2], I).
+"""
+
+BACKGROUND = """
+areaType(a1, fishing).
+areaType(a2, natura).
+"""
+
+VOCABULARY = Vocabulary(
+    input_events=frozenset({("entersArea", 2), ("leavesArea", 2), ("gap_start", 1)}),
+    background=frozenset({("areaType", 2)}),
+)
+
+
+def main() -> None:
+    description = EventDescription.from_text(RULES)
+    issues = description.validate(VOCABULARY)
+    print("validation issues:", issues or "none")
+
+    engine = RTECEngine(description, KnowledgeBase.from_text(BACKGROUND), VOCABULARY)
+
+    events = EventStream(
+        Event(t, parse_term(text))
+        for t, text in [
+            (10, "entersArea(vessel1, a1)"),
+            (40, "entersArea(vessel1, a2)"),
+            (60, "leavesArea(vessel1, a1)"),
+            (90, "gap_start(vessel1)"),
+            (100, "entersArea(vessel2, a2)"),
+            (130, "leavesArea(vessel2, a2)"),
+        ]
+    )
+
+    result = engine.recognise(events)
+
+    print("\nMaximal intervals (closed [start, end] time-points):")
+    for pair, intervals in result.items():
+        print("  holdsFor(%s, %s)" % (pair, intervals.as_pairs()))
+
+    print("\nPoint queries:")
+    for time in (15, 65, 95):
+        holds = result.holds_at("inProtectedWaters(vessel1)=true", time)
+        print("  holdsAt(inProtectedWaters(vessel1)=true, %3d) = %s" % (time, holds))
+
+
+if __name__ == "__main__":
+    main()

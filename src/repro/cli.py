@@ -1,0 +1,225 @@
+"""Command-line interface.
+
+Subcommands mirror the paper's workflow::
+
+    python -m repro fig2a                  # Figure 2a table
+    python -m repro fig2b                  # Figure 2b table (after correction)
+    python -m repro fig2c                  # Figure 2c table (F1 vs gold)
+    python -m repro recognise              # run the gold ED over the fleet
+    python -m repro generate --model o1    # print one generated event description
+    python -m repro validate FILE          # validate an RTEC event description
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import run_fig2a, run_fig2b, run_fig2c
+from repro.experiments.fig2a import format_table as fig2a_table
+from repro.experiments.fig2b import format_table as fig2b_table
+from repro.experiments.fig2c import format_table as fig2c_table
+from repro.generation import generate
+from repro.llm import BEST_SCHEME, MODEL_NAMES, PROMPT_SCHEMES
+from repro.logic.parser import ParseError
+from repro.maritime import (
+    COMPOSITE_ACTIVITIES,
+    MARITIME_VOCABULARY,
+    build_dataset,
+    gold_event_description,
+)
+from repro.rtec import EventDescription, RTECEngine
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Generating Activity Definitions with LLMs' (EDBT 2025)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig2a = sub.add_parser("fig2a", help="similarity of LLM-generated definitions")
+    fig2a.add_argument("--seed", type=int, default=0)
+    fig2a.add_argument("--chart", action="store_true", help="render bar groups")
+
+    fig2b = sub.add_parser("fig2b", help="similarities after syntactic correction")
+    fig2b.add_argument("--seed", type=int, default=0)
+    fig2b.add_argument("--scale", type=float, default=0.25)
+
+    fig2c = sub.add_parser("fig2c", help="predictive accuracy (F1 vs gold detections)")
+    fig2c.add_argument("--seed", type=int, default=0)
+    fig2c.add_argument("--scale", type=float, default=0.25)
+    fig2c.add_argument("--window", type=int, default=None)
+
+    recognise = sub.add_parser("recognise", help="run the gold ED over the synthetic fleet")
+    recognise.add_argument("--seed", type=int, default=0)
+    recognise.add_argument("--scale", type=float, default=0.25)
+    recognise.add_argument("--traffic", type=int, default=4)
+    recognise.add_argument("--window", type=int, default=None)
+
+    gen = sub.add_parser("generate", help="print one generated event description")
+    gen.add_argument("--model", choices=MODEL_NAMES, default="o1")
+    gen.add_argument("--scheme", choices=PROMPT_SCHEMES, default=None,
+                     help="default: the model's best scheme")
+    gen.add_argument("--seed", type=int, default=0)
+
+    errors = sub.add_parser(
+        "errors", help="qualitative error assessment of a generated description"
+    )
+    errors.add_argument("--model", choices=MODEL_NAMES, default=None,
+                        help="default: all models")
+    errors.add_argument("--seed", type=int, default=0)
+
+    diff = sub.add_parser(
+        "diff", help="correction worklist: generated vs gold rule matching"
+    )
+    diff.add_argument("--model", choices=MODEL_NAMES, default="o1")
+    diff.add_argument("--seed", type=int, default=0)
+    diff.add_argument("--show-exact", action="store_true")
+
+    validate = sub.add_parser("validate", help="validate an RTEC event description file")
+    validate.add_argument("path", help="file with RTEC rules")
+    validate.add_argument(
+        "--no-vocabulary",
+        action="store_true",
+        help="skip maritime vocabulary checks (structural validation only)",
+    )
+    return parser
+
+
+def _cmd_fig2a(args: argparse.Namespace) -> int:
+    result = run_fig2a(seed=args.seed)
+    print(fig2a_table(result))
+    print("top-3:", ", ".join(result.top_models(3)))
+    if args.chart:
+        from repro.experiments.fig2a import scheme_mark
+        from repro.experiments.render import grouped_bar_chart
+        from repro.maritime.gold import ACTIVITY_SHORT_LABELS, COMPOSITE_ACTIVITIES
+
+        series = {
+            "%s%s" % (model, scheme_mark(outcome.scheme)): [
+                outcome.activity_similarities[a] for a in COMPOSITE_ACTIVITIES
+            ]
+            + [outcome.average_similarity]
+            for model, outcome in result.outcomes.items()
+        }
+        labels = [ACTIVITY_SHORT_LABELS[a] for a in COMPOSITE_ACTIVITIES] + ["all"]
+        print()
+        print(grouped_bar_chart(series, labels))
+    return 0
+
+
+def _cmd_fig2b(args: argparse.Namespace) -> int:
+    dataset = build_dataset(seed=args.seed, scale=args.scale)
+    print(fig2b_table(run_fig2b(dataset.kb, seed=args.seed)))
+    return 0
+
+
+def _cmd_fig2c(args: argparse.Namespace) -> int:
+    result = run_fig2c(seed=args.seed, scale=args.scale, window=args.window)
+    print(fig2c_table(result))
+    return 0
+
+
+def _cmd_recognise(args: argparse.Namespace) -> int:
+    dataset = build_dataset(seed=args.seed, scale=args.scale, traffic=args.traffic)
+    engine = RTECEngine(gold_event_description(), dataset.kb, dataset.vocabulary)
+    result = engine.recognise(dataset.stream, dataset.input_fluents, window=args.window)
+    print("%-20s %9s %12s" % ("activity", "instances", "duration (s)"))
+    for activity in COMPOSITE_ACTIVITIES:
+        instances = list(result.instances(activity))
+        print(
+            "%-20s %9d %12d"
+            % (activity, len(instances), result.activity_duration(activity))
+        )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    scheme = args.scheme or BEST_SCHEME[args.model]
+    outcome = generate(args.model, scheme, seed=args.seed)
+    print("%% model=%s scheme=%s average-similarity=%.3f" % (
+        args.model, scheme, outcome.average_similarity))
+    print(outcome.generated.to_text())
+    for name, error in outcome.generated.parse_errors.items():
+        print("%% parse error in %s: %s" % (name, error))
+    return 0
+
+
+def _cmd_errors(args: argparse.Namespace) -> int:
+    from repro.generation import analyse_errors, format_report
+
+    models = [args.model] if args.model else list(MODEL_NAMES)
+    for model in models:
+        outcome = generate(model, BEST_SCHEME[model], seed=args.seed)
+        report = analyse_errors(outcome.generated, MARITIME_VOCABULARY)
+        print(format_report(report))
+        print()
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.maritime.gold import gold_event_description
+    from repro.similarity import format_matching, match_descriptions
+
+    outcome = generate(args.model, BEST_SCHEME[args.model], seed=args.seed)
+    report = match_descriptions(
+        outcome.generated.to_event_description(), gold_event_description()
+    )
+    print("%% correction worklist for %s%s" % (args.model, ""))
+    print(format_matching(report, show_exact=args.show_exact))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    try:
+        with open(args.path) as handle:
+            text = handle.read()
+    except OSError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    try:
+        description = EventDescription.from_text(text)
+    except ParseError as exc:
+        print("parse error: %s" % exc, file=sys.stderr)
+        return 2
+    vocabulary = None if args.no_vocabulary else MARITIME_VOCABULARY
+    issues = description.validate(vocabulary)
+    print(
+        "%d rules, %d simple fluents, %d statically determined fluents"
+        % (
+            len(description.rules),
+            len(description.simple_fluents),
+            len(description.static_fluents),
+        )
+    )
+    if not issues:
+        print("no validation issues")
+        return 0
+    for issue in issues:
+        print(issue)
+    return 1
+
+
+_COMMANDS = {
+    "fig2a": _cmd_fig2a,
+    "fig2b": _cmd_fig2b,
+    "fig2c": _cmd_fig2c,
+    "recognise": _cmd_recognise,
+    "generate": _cmd_generate,
+    "errors": _cmd_errors,
+    "diff": _cmd_diff,
+    "validate": _cmd_validate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

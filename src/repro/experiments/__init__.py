@@ -1,0 +1,33 @@
+"""Experiment harnesses regenerating the paper's figures.
+
+One module per artifact of the evaluation section:
+
+* :mod:`repro.experiments.fig2a` — similarity of LLM-generated definitions
+  (best prompting scheme per model);
+* :mod:`repro.experiments.fig2b` — similarities after minimal syntactic
+  correction of the three best event descriptions;
+* :mod:`repro.experiments.fig2c` — predictive accuracy (F1) of the
+  corrected event descriptions on the AIS stream.
+
+Each harness returns a structured result object and can render the same
+rows/series the paper plots via ``format_table``.
+"""
+
+from repro.experiments.fig2a import Fig2aResult, run_fig2a
+from repro.experiments.fig2b import Fig2bResult, run_fig2b
+from repro.experiments.fig2c import Fig2cResult, run_fig2c
+from repro.experiments.render import bar, grouped_bar_chart
+from repro.experiments.robustness import RobustnessResult, run_robustness
+
+__all__ = [
+    "Fig2aResult",
+    "run_fig2a",
+    "Fig2bResult",
+    "run_fig2b",
+    "Fig2cResult",
+    "run_fig2c",
+    "bar",
+    "grouped_bar_chart",
+    "RobustnessResult",
+    "run_robustness",
+]

@@ -1,0 +1,60 @@
+"""Text rendering of the paper's figures.
+
+The paper's Figure 2 is three panels of grouped bar charts; these helpers
+render the same series as unicode bar charts in the terminal, so the
+reproduction's output is visually comparable to the original (per-activity
+bar groups, one bar per model).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+__all__ = ["bar", "grouped_bar_chart"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def bar(value: float, width: int = 20, maximum: float = 1.0) -> str:
+    """A horizontal bar of ``value``/``maximum`` rendered in ``width`` cells."""
+    if maximum <= 0:
+        raise ValueError("maximum must be positive")
+    fraction = max(0.0, min(1.0, value / maximum))
+    cells = fraction * width
+    full = int(cells)
+    remainder = cells - full
+    partial_index = int(round(remainder * (len(_BLOCKS) - 1)))
+    text = "█" * full
+    if full < width and partial_index > 0:
+        text += _BLOCKS[partial_index]
+    return text.ljust(width)
+
+
+def grouped_bar_chart(
+    series: Mapping[str, Sequence[float]],
+    group_labels: Sequence[str],
+    width: int = 20,
+    value_format: str = "%.2f",
+) -> str:
+    """Render one bar per (group, series) pair, grouped like Figure 2.
+
+    ``series`` maps a series name (e.g. ``"o1□"``) to one value per group
+    (e.g. per activity); ``group_labels`` names the groups.
+    """
+    for name, values in series.items():
+        if len(values) != len(group_labels):
+            raise ValueError(
+                "series %r has %d values for %d groups"
+                % (name, len(values), len(group_labels))
+            )
+    label_width = max(len(name) for name in series) if series else 0
+    lines: List[str] = []
+    for index, group in enumerate(group_labels):
+        lines.append("%s" % group)
+        for name, values in series.items():
+            value = values[index]
+            lines.append(
+                "  %-*s %s %s"
+                % (label_width, name, bar(value, width), value_format % value)
+            )
+    return "\n".join(lines)

@@ -1,0 +1,177 @@
+"""Synthetic fleet telematics data.
+
+The fleet dataset is scripted directly at the event level (the critical
+events of Tsilionis et al. (2022) style telematics come pre-extracted from
+the on-board unit): each scenario emits the input events of the fleet
+vocabulary along a simple timeline.
+
+Scenarios:
+
+* ``bus1`` — depot departure, urban route with a school-zone pass at
+  excessive speed (``overSpeeding``), one abrupt braking (a bounded
+  ``unsafeManoeuvre`` window), and a passenger stop inside the school zone
+  (allowed: no ``unauthorisedStop``);
+* ``truck1`` — a highway leg at 95 km/h (``overSpeeding``) with a burst of
+  sharp turns and abrupt accelerations (``dangerousDriving``);
+* ``van1`` — engine idling inside the depot (``idling``, but no
+  ``unauthorisedStop``);
+* ``van2`` — an engine-on stop in an urban street (``idling`` and
+  ``unauthorisedStop``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.fleet.gold import FLEET_VOCABULARY, FleetThresholds
+from repro.logic.knowledge import KnowledgeBase
+from repro.logic.parser import parse_term
+from repro.rtec.description import Vocabulary
+from repro.rtec.stream import Event, EventStream, InputFluents
+
+__all__ = ["FleetDataset", "build_fleet_dataset"]
+
+#: (zone id, zone type) of the fleet map.
+_ZONES: Tuple[Tuple[str, str], ...] = (
+    ("depotMain", "depot"),
+    ("rueJaures", "urban"),
+    ("ecoleSud", "school"),
+    ("a11", "highway"),
+)
+
+#: (zone type, speed limit in km/h).
+_SPEED_LIMITS: Tuple[Tuple[str, int], ...] = (
+    ("depot", 10),
+    ("urban", 50),
+    ("school", 30),
+    ("highway", 90),
+)
+
+_VEHICLES: Tuple[Tuple[str, str], ...] = (
+    ("bus1", "bus"),
+    ("truck1", "truck"),
+    ("van1", "van"),
+    ("van2", "van"),
+)
+
+
+@dataclass
+class FleetDataset:
+    """The RTEC input of the fleet domain."""
+
+    stream: EventStream
+    input_fluents: InputFluents
+    kb: KnowledgeBase
+    vocabulary: Vocabulary
+    thresholds: FleetThresholds
+
+
+def _events(script: Sequence[Tuple[int, str]]) -> List[Event]:
+    return [Event(time, parse_term(text)) for time, text in script]
+
+
+def _bus_route(offset: int = 0) -> List[Event]:
+    t = offset
+    script = [
+        (t + 0, "ignition_on(bus1)"),
+        (t + 0, "entersZone(bus1, depotMain)"),
+        (t + 0, "stop_start(bus1)"),
+        (t + 120, "stop_end(bus1)"),
+        (t + 150, "leavesZone(bus1, depotMain)"),
+        (t + 160, "entersZone(bus1, rueJaures)"),
+        (t + 170, "speed(bus1, 42)"),
+        (t + 300, "speed(bus1, 45)"),
+        (t + 430, "leavesZone(bus1, rueJaures)"),
+        (t + 440, "entersZone(bus1, ecoleSud)"),
+        (t + 450, "speed(bus1, 42)"),  # 42 > school limit 30: overSpeeding
+        (t + 520, "abrupt_braking(bus1)"),  # unsafeManoeuvre, 60 s window
+        (t + 530, "speed(bus1, 12)"),  # back under the limit
+        (t + 540, "stop_start(bus1)"),  # passenger stop inside school zone
+        (t + 600, "stop_end(bus1)"),
+        (t + 640, "leavesZone(bus1, ecoleSud)"),
+        (t + 650, "entersZone(bus1, rueJaures)"),
+        (t + 660, "speed(bus1, 40)"),
+        (t + 900, "leavesZone(bus1, rueJaures)"),
+        (t + 910, "entersZone(bus1, depotMain)"),
+        (t + 940, "stop_start(bus1)"),
+        (t + 1000, "ignition_off(bus1)"),
+    ]
+    return _events(script)
+
+
+def _truck_route(offset: int = 0) -> List[Event]:
+    t = offset
+    script = [
+        (t + 0, "ignition_on(truck1)"),
+        (t + 10, "entersZone(truck1, a11)"),
+        (t + 20, "speed(truck1, 85)"),
+        (t + 200, "speed(truck1, 95)"),  # 95 > highway limit 90
+        (t + 230, "sharp_turn(truck1)"),
+        (t + 250, "abrupt_acceleration(truck1)"),
+        (t + 290, "sharp_turn(truck1)"),
+        (t + 500, "speed(truck1, 88)"),  # back under the limit
+        (t + 800, "leavesZone(truck1, a11)"),
+        (t + 820, "ignition_off(truck1)"),
+    ]
+    return _events(script)
+
+
+def _van_depot_idle(offset: int = 0) -> List[Event]:
+    t = offset
+    script = [
+        (t + 0, "entersZone(van1, depotMain)"),
+        (t + 10, "ignition_on(van1)"),
+        (t + 10, "stop_start(van1)"),
+        (t + 700, "stop_end(van1)"),  # idled ~11.5 minutes inside the depot
+        (t + 720, "leavesZone(van1, depotMain)"),
+        (t + 730, "entersZone(van1, rueJaures)"),
+        (t + 740, "speed(van1, 35)"),
+        (t + 1000, "ignition_off(van1)"),
+    ]
+    return _events(script)
+
+
+def _van_street_stop(offset: int = 0) -> List[Event]:
+    t = offset
+    script = [
+        (t + 0, "ignition_on(van2)"),
+        (t + 5, "entersZone(van2, rueJaures)"),
+        (t + 10, "speed(van2, 30)"),
+        (t + 100, "stop_start(van2)"),  # engine-on stop in an urban street
+        (t + 460, "stop_end(van2)"),
+        (t + 470, "speed(van2, 25)"),
+        (t + 800, "leavesZone(van2, rueJaures)"),
+        (t + 820, "ignition_off(van2)"),
+    ]
+    return _events(script)
+
+
+def build_fleet_knowledge_base(thresholds: FleetThresholds = FleetThresholds()) -> KnowledgeBase:
+    lines: List[str] = []
+    for zone_id, zone_type in _ZONES:
+        lines.append("zoneType(%s, %s)." % (zone_id, zone_type))
+    for zone_type, limit in _SPEED_LIMITS:
+        lines.append("speedLimit(%s, %d)." % (zone_type, limit))
+    for vehicle_id, vehicle_type in _VEHICLES:
+        lines.append("vehicleType(%s, %s)." % (vehicle_id, vehicle_type))
+    for name, value in thresholds.items():
+        rendered = repr(value) if isinstance(value, float) else str(value)
+        lines.append("thresholds(%s, %s)." % (name, rendered))
+    return KnowledgeBase.from_text("\n".join(lines) + "\n")
+
+
+def build_fleet_dataset(thresholds: FleetThresholds = FleetThresholds()) -> FleetDataset:
+    """Build the scripted fleet dataset (deterministic)."""
+    events: List[Event] = []
+    events.extend(_bus_route(offset=0))
+    events.extend(_truck_route(offset=300))
+    events.extend(_van_depot_idle(offset=100))
+    events.extend(_van_street_stop(offset=600))
+    return FleetDataset(
+        stream=EventStream(events),
+        input_fluents=InputFluents(),
+        kb=build_fleet_knowledge_base(thresholds),
+        vocabulary=FLEET_VOCABULARY,
+        thresholds=thresholds,
+    )

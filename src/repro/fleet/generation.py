@@ -1,0 +1,99 @@
+"""LLM generation for the fleet domain.
+
+Demonstrates the transfer claimed in Section 6 of the paper: prompt R is
+reused verbatim, prompts E and T are instantiated with the fleet
+vocabulary and thresholds, and the per-activity G prompts carry the fleet
+descriptions. Simulated models get fleet-specific error profiles in the
+same four categories as the maritime ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.fleet.gold import (
+    FLEET_ACTIVITY_GROUPS,
+    FLEET_BACKGROUND_NOTE,
+    FLEET_EVENT_MEANINGS,
+    FLEET_THRESHOLD_MEANINGS,
+    FleetThresholds,
+)
+from repro.llm.errors import (
+    AddCondition,
+    DropRule,
+    RenameFunctor,
+    ReplaceRules,
+    SwapOperator,
+)
+from repro.llm.pipeline import DomainSpec, GeneratedEventDescription, GenerationPipeline
+from repro.llm.profiles import BEST_SCHEME, Profile
+from repro.llm.prompts import CHAIN_OF_THOUGHT, FEW_SHOT
+from repro.llm.simulated import SimulatedLLM
+
+__all__ = ["fleet_domain_spec", "FLEET_PROFILES", "generate_fleet"]
+
+
+def fleet_domain_spec() -> DomainSpec:
+    """The fleet instantiation of the prompting pipeline."""
+    return DomainSpec(
+        name="Fleet",
+        groups=FLEET_ACTIVITY_GROUPS,
+        event_meanings=FLEET_EVENT_MEANINGS,
+        fluent_meanings={},
+        thresholds=FleetThresholds(),
+        threshold_meanings=FLEET_THRESHOLD_MEANINGS,
+        background_note=FLEET_BACKGROUND_NOTE,
+    )
+
+
+# Gemma-2's signature wrong-fluent-type error, transplanted to the fleet
+# domain: dangerousDriving as a simple fluent.
+_GEMMA_DANGEROUS_DRIVING = """
+initiatedAt(dangerousDriving(Vehicle)=true, T) :-
+    happensAt(sharp_turn(Vehicle), T).
+
+terminatedAt(dangerousDriving(Vehicle)=true, T) :-
+    happensAt(ignition_off(Vehicle), T).
+"""
+
+_STRONG: Profile = {
+    # Minor, correctable naming divergence plus one redundant condition.
+    "overSpeeding": [RenameFunctor("speed", "speedReport")],
+    "dangerousDriving": [
+        AddCondition(0, "holdsFor(engineOn(Vehicle)=true, Ien)", position=3),
+    ],
+}
+
+_WEAK: Profile = {
+    "overSpeeding": [RenameFunctor("speed", "speedReport"), DropRule(2)],
+    "dangerousDriving": [ReplaceRules(_GEMMA_DANGEROUS_DRIVING)],
+    "idling": [SwapOperator("intersect_all", "union_all")],
+    "unsafeManoeuvre": [DropRule(3)],
+}
+
+#: Per-scheme fleet profiles per model: the strong models transfer well,
+#: the weak ones repeat their maritime failure modes.
+FLEET_PROFILES: Dict[str, Dict[str, Profile]] = {
+    "o1": {FEW_SHOT: {}, CHAIN_OF_THOUGHT: _STRONG},
+    "gpt-4o": {FEW_SHOT: _WEAK, CHAIN_OF_THOUGHT: _STRONG},
+    "llama-3": {FEW_SHOT: _STRONG, CHAIN_OF_THOUGHT: _WEAK},
+    "gpt-4": {FEW_SHOT: _STRONG, CHAIN_OF_THOUGHT: _WEAK},
+    "mistral": {FEW_SHOT: _WEAK, CHAIN_OF_THOUGHT: _WEAK},
+    "gemma-2": {FEW_SHOT: _WEAK, CHAIN_OF_THOUGHT: _WEAK},
+}
+
+
+def generate_fleet(
+    model: str, scheme: str = None, seed: int = 0
+) -> GeneratedEventDescription:
+    """Generate a fleet event description with a simulated model."""
+    if scheme is None:
+        scheme = BEST_SCHEME[model]
+    client = SimulatedLLM(
+        model,
+        seed=seed,
+        knowledge=FLEET_ACTIVITY_GROUPS,
+        profiles=FLEET_PROFILES.get(model, {}),
+    )
+    pipeline = GenerationPipeline(client, scheme, domain=fleet_domain_spec())
+    return pipeline.run()

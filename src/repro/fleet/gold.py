@@ -1,0 +1,297 @@
+"""Gold-standard event description for vehicle fleet management.
+
+The paper's further-work section (Section 6) states that the approach
+transfers to "composite activity recognition for vehicle fleet management
+[34]. Prompt R may be re-used as it is, while the prompts F, E, and T may
+be customised with domain-specific knowledge." This module provides that
+second domain, after Tsilionis et al. (2022): commercial vehicles emitting
+speed reports, ignition and driving-style events, with zones of interest
+(depot, urban, school, highway).
+
+The ``unsafeManoeuvre`` definition uses a ``maxDuration/2`` declaration —
+RTEC's deadline mechanism — so a driving-style event contributes a bounded
+"demerit window" rather than persisting indefinitely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Iterator, Tuple
+
+from repro.maritime.gold import ActivityGroup
+from repro.rtec.description import EventDescription, Vocabulary
+
+__all__ = [
+    "FLEET_ACTIVITY_GROUPS",
+    "FLEET_COMPOSITE_ACTIVITIES",
+    "FLEET_VOCABULARY",
+    "FLEET_EVENT_MEANINGS",
+    "FLEET_THRESHOLD_MEANINGS",
+    "FLEET_BACKGROUND_NOTE",
+    "FleetThresholds",
+    "fleet_gold_event_description",
+    "fleet_gold_rules_text",
+]
+
+
+@dataclass(frozen=True)
+class FleetThresholds:
+    """Threshold values of the fleet domain (prompt T)."""
+
+    #: Demerit window (seconds) during which a driving-style event keeps a
+    #: vehicle in the unsafe-manoeuvre state.
+    unsafeManoeuvreWindow: int = 60
+    #: Minimum speed (km/h) at which a vehicle counts as moving.
+    movingMinKmh: float = 3.0
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        for item in fields(self):
+            yield item.name, getattr(self, item.name)
+
+
+_WITHIN_ZONE = ActivityGroup(
+    name="withinZone",
+    description=(
+        "Within zone: this activity starts when a vehicle enters a zone of "
+        "interest and ends when the vehicle leaves the zone that it had "
+        "entered."
+    ),
+    fluents=(("withinZone", 2),),
+    kind="simple",
+    rules_text="""
+initiatedAt(withinZone(Vehicle, ZoneType)=true, T) :-
+    happensAt(entersZone(Vehicle, Zone), T),
+    zoneType(Zone, ZoneType).
+
+terminatedAt(withinZone(Vehicle, ZoneType)=true, T) :-
+    happensAt(leavesZone(Vehicle, Zone), T),
+    zoneType(Zone, ZoneType).
+""",
+)
+
+_ENGINE_ON = ActivityGroup(
+    name="engineOn",
+    description=(
+        "Engine on: a vehicle's engine is on from the moment its ignition "
+        "is switched on until the moment its ignition is switched off."
+    ),
+    fluents=(("engineOn", 1),),
+    kind="simple",
+    rules_text="""
+initiatedAt(engineOn(Vehicle)=true, T) :-
+    happensAt(ignition_on(Vehicle), T).
+
+terminatedAt(engineOn(Vehicle)=true, T) :-
+    happensAt(ignition_off(Vehicle), T).
+""",
+)
+
+_STOPPED = ActivityGroup(
+    name="stopped",
+    description=(
+        "Stopped: a vehicle is stopped while it is idle, i.e. from the "
+        "moment its movement stops until the moment its movement resumes."
+    ),
+    fluents=(("stopped", 1),),
+    kind="simple",
+    rules_text="""
+initiatedAt(stopped(Vehicle)=true, T) :-
+    happensAt(stop_start(Vehicle), T).
+
+terminatedAt(stopped(Vehicle)=true, T) :-
+    happensAt(stop_end(Vehicle), T).
+""",
+)
+
+_IDLING = ActivityGroup(
+    name="idling",
+    description=(
+        "Idling: a vehicle is idling for as long as it is stopped while "
+        "its engine is on."
+    ),
+    fluents=(("idling", 1),),
+    kind="static",
+    rules_text="""
+holdsFor(idling(Vehicle)=true, I) :-
+    holdsFor(engineOn(Vehicle)=true, Ie),
+    holdsFor(stopped(Vehicle)=true, Is),
+    intersect_all([Ie, Is], I).
+""",
+)
+
+_OVER_SPEEDING = ActivityGroup(
+    name="overSpeeding",
+    description=(
+        "Over speeding: a vehicle is over speeding from the moment its "
+        "speed, while it is within a zone of interest, exceeds the speed "
+        "limit of that type of zone. The activity ends when the vehicle's "
+        "speed no longer exceeds the limit, or when its ignition is "
+        "switched off. The speed limit of each zone type is part of the "
+        "background knowledge."
+    ),
+    fluents=(("overSpeeding", 1),),
+    kind="simple",
+    rules_text="""
+initiatedAt(overSpeeding(Vehicle)=true, T) :-
+    happensAt(speed(Vehicle, Speed), T),
+    holdsAt(withinZone(Vehicle, ZoneType)=true, T),
+    speedLimit(ZoneType, Limit),
+    Speed > Limit.
+
+terminatedAt(overSpeeding(Vehicle)=true, T) :-
+    happensAt(speed(Vehicle, Speed), T),
+    holdsAt(withinZone(Vehicle, ZoneType)=true, T),
+    speedLimit(ZoneType, Limit),
+    Speed =< Limit.
+
+terminatedAt(overSpeeding(Vehicle)=true, T) :-
+    happensAt(ignition_off(Vehicle), T).
+""",
+)
+
+_UNSAFE_MANOEUVRE = ActivityGroup(
+    name="unsafeManoeuvre",
+    description=(
+        "Unsafe manoeuvre: a vehicle performs an unsafe manoeuvre when it "
+        "accelerates abruptly, brakes abruptly, or takes a sharp turn. "
+        "Each such event keeps the vehicle in the unsafe-manoeuvre state "
+        "for at most one minute; switching the ignition off also ends the "
+        "state."
+    ),
+    fluents=(("unsafeManoeuvre", 1),),
+    kind="simple",
+    rules_text="""
+initiatedAt(unsafeManoeuvre(Vehicle)=true, T) :-
+    happensAt(abrupt_acceleration(Vehicle), T).
+
+initiatedAt(unsafeManoeuvre(Vehicle)=true, T) :-
+    happensAt(abrupt_braking(Vehicle), T).
+
+initiatedAt(unsafeManoeuvre(Vehicle)=true, T) :-
+    happensAt(sharp_turn(Vehicle), T).
+
+terminatedAt(unsafeManoeuvre(Vehicle)=true, T) :-
+    happensAt(ignition_off(Vehicle), T).
+
+maxDuration(unsafeManoeuvre(Vehicle)=true, 60).
+""",
+)
+
+_DANGEROUS_DRIVING = ActivityGroup(
+    name="dangerousDriving",
+    description=(
+        "Dangerous driving: a vehicle is driving dangerously for as long "
+        "as it performs unsafe manoeuvres or it is over speeding, "
+        "excluding the periods during which it is within a depot zone."
+    ),
+    fluents=(("dangerousDriving", 1),),
+    kind="static",
+    rules_text="""
+holdsFor(dangerousDriving(Vehicle)=true, I) :-
+    holdsFor(unsafeManoeuvre(Vehicle)=true, Iu),
+    holdsFor(overSpeeding(Vehicle)=true, Io),
+    union_all([Iu, Io], Iuo),
+    holdsFor(withinZone(Vehicle, depot)=true, Id),
+    relative_complement_all(Iuo, [Id], I).
+""",
+)
+
+_UNAUTHORISED_STOP = ActivityGroup(
+    name="unauthorisedStop",
+    description=(
+        "Unauthorised stop: a vehicle performs an unauthorised stop for as "
+        "long as it is stopped outside the zones where stopping is "
+        "allowed, i.e. depot zones and school zones."
+    ),
+    fluents=(("unauthorisedStop", 1),),
+    kind="static",
+    rules_text="""
+holdsFor(unauthorisedStop(Vehicle)=true, I) :-
+    holdsFor(stopped(Vehicle)=true, Is),
+    holdsFor(withinZone(Vehicle, depot)=true, Id),
+    holdsFor(withinZone(Vehicle, school)=true, Ib),
+    relative_complement_all(Is, [Id, Ib], I).
+""",
+)
+
+FLEET_ACTIVITY_GROUPS: Tuple[ActivityGroup, ...] = (
+    _WITHIN_ZONE,
+    _ENGINE_ON,
+    _STOPPED,
+    _IDLING,
+    _OVER_SPEEDING,
+    _UNSAFE_MANOEUVRE,
+    _DANGEROUS_DRIVING,
+    _UNAUTHORISED_STOP,
+)
+
+#: The headline composite activities of the fleet domain.
+FLEET_COMPOSITE_ACTIVITIES: Tuple[str, ...] = (
+    "idling",
+    "overSpeeding",
+    "unsafeManoeuvre",
+    "dangerousDriving",
+    "unauthorisedStop",
+)
+
+FLEET_VOCABULARY = Vocabulary(
+    input_events=frozenset(
+        {
+            ("speed", 2),
+            ("ignition_on", 1),
+            ("ignition_off", 1),
+            ("abrupt_acceleration", 1),
+            ("abrupt_braking", 1),
+            ("sharp_turn", 1),
+            ("stop_start", 1),
+            ("stop_end", 1),
+            ("entersZone", 2),
+            ("leavesZone", 2),
+        }
+    ),
+    input_fluents=frozenset(),
+    background=frozenset(
+        {
+            ("zoneType", 2),
+            ("vehicleType", 2),
+            ("speedLimit", 2),
+            ("thresholds", 2),
+        }
+    ),
+)
+
+FLEET_EVENT_MEANINGS: Dict[str, str] = {
+    "speed(Vehicle, Speed)": "'Vehicle' reported its speed (km/h).",
+    "ignition_on(Vehicle)": "The ignition of 'Vehicle' was switched on.",
+    "ignition_off(Vehicle)": "The ignition of 'Vehicle' was switched off.",
+    "abrupt_acceleration(Vehicle)": "'Vehicle' accelerated abruptly.",
+    "abrupt_braking(Vehicle)": "'Vehicle' braked abruptly.",
+    "sharp_turn(Vehicle)": "'Vehicle' took a sharp turn.",
+    "stop_start(Vehicle)": "'Vehicle' stopped moving.",
+    "stop_end(Vehicle)": "'Vehicle' resumed moving.",
+    "entersZone(Vehicle, Zone)": "'Vehicle' entered the zone 'Zone'.",
+    "leavesZone(Vehicle, Zone)": "'Vehicle' left the zone 'Zone'.",
+}
+
+FLEET_THRESHOLD_MEANINGS: Dict[str, str] = {
+    "unsafeManoeuvreWindow": (
+        "The number of seconds a driving-style event keeps a vehicle in "
+        "the unsafe-manoeuvre state (use a maxDuration declaration)."
+    ),
+    "movingMinKmh": "The minimum speed at which a vehicle counts as moving.",
+}
+
+FLEET_BACKGROUND_NOTE = (
+    "You may also use the background predicates zoneType(Zone, ZoneType), "
+    "vehicleType(Vehicle, Type) and speedLimit(ZoneType, Limit)."
+)
+
+
+def fleet_gold_rules_text() -> str:
+    """The complete fleet event description as RTEC text."""
+    return "\n".join(group.rules_text.strip() + "\n" for group in FLEET_ACTIVITY_GROUPS)
+
+
+def fleet_gold_event_description() -> EventDescription:
+    """The complete fleet event description, parsed and classified."""
+    return EventDescription.from_text(fleet_gold_rules_text())

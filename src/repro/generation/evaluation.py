@@ -1,0 +1,112 @@
+"""Predictive accuracy of generated event descriptions (Figure 2c).
+
+The paper's second experiment runs RTEC with a corrected LLM-generated
+event description over the AIS stream, and compares the recognised
+time-points against the detections of the hand-crafted definitions:
+time-points detected by both make up the true positives; time-points
+detected only by the generated (hand-crafted) definition are false
+positives (negatives). Precision, recall and F1 are computed per composite
+activity, aggregating over all ground instances (e.g. every vessel's
+``trawling``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.intervals import IntervalList, intersect_all, relative_complement_all
+from repro.logic.terms import Term
+from repro.maritime.dataset import MaritimeDataset
+from repro.maritime.gold import COMPOSITE_ACTIVITIES
+from repro.rtec.description import EventDescription
+from repro.rtec.engine import RTECEngine
+from repro.rtec.result import RecognitionResult
+
+__all__ = ["ActivityScore", "score_activity", "score_activities", "run_recognition"]
+
+
+@dataclass(frozen=True)
+class ActivityScore:
+    """Time-point-level confusion counts for one composite activity."""
+
+    activity: str
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if p + r else 0.0
+
+    @property
+    def undetected(self) -> bool:
+        """True when neither description recognised the activity at all."""
+        return not (self.true_positives or self.false_positives or self.false_negatives)
+
+
+def run_recognition(
+    description: EventDescription,
+    dataset: MaritimeDataset,
+    window: Optional[int] = None,
+    strict: bool = False,
+) -> RecognitionResult:
+    """Run RTEC with ``description`` over the dataset's stream.
+
+    Generated descriptions are executed tolerantly (``strict=False``,
+    ``skip_errors=True``): malformed rules are skipped rather than aborting
+    the run, mirroring how a practitioner would execute a best-effort
+    definition set.
+    """
+    engine = RTECEngine(
+        description,
+        dataset.kb,
+        dataset.vocabulary,
+        strict=strict,
+        skip_errors=not strict,
+    )
+    return engine.recognise(dataset.stream, dataset.input_fluents, window=window)
+
+
+def score_activity(
+    gold: RecognitionResult,
+    candidate: RecognitionResult,
+    activity: str,
+) -> ActivityScore:
+    """Confusion counts for one activity, aggregated over ground instances."""
+    gold_instances: Dict[Term, IntervalList] = dict(gold.instances(activity))
+    candidate_instances: Dict[Term, IntervalList] = dict(candidate.instances(activity))
+    tp = fp = fn = 0
+    for pair in set(gold_instances) | set(candidate_instances):
+        gold_intervals = gold_instances.get(pair, IntervalList.empty())
+        candidate_intervals = candidate_instances.get(pair, IntervalList.empty())
+        if gold_intervals and candidate_intervals:
+            overlap = intersect_all([gold_intervals, candidate_intervals])
+            tp += overlap.total_duration
+            fp += relative_complement_all(candidate_intervals, [gold_intervals]).total_duration
+            fn += relative_complement_all(gold_intervals, [candidate_intervals]).total_duration
+        elif candidate_intervals:
+            fp += candidate_intervals.total_duration
+        else:
+            fn += gold_intervals.total_duration
+    return ActivityScore(activity, tp, fp, fn)
+
+
+def score_activities(
+    gold: RecognitionResult,
+    candidate: RecognitionResult,
+    activities: Sequence[str] = COMPOSITE_ACTIVITIES,
+) -> Dict[str, ActivityScore]:
+    """Per-activity scores for all composite activities of Figure 2c."""
+    return {name: score_activity(gold, candidate, name) for name in activities}

@@ -1,0 +1,171 @@
+"""Closed integer intervals and sorted lists of disjoint maximal intervals.
+
+Conventions
+-----------
+
+The timeline is the non-negative integers (seconds in the maritime data).
+An :class:`Interval` ``[start, end]`` is *closed* on both sides: the fluent
+holds at every time-point ``t`` with ``start <= t <= end``.
+
+Under RTEC semantics, a simple fluent initiated at ``Ts`` and next
+terminated at ``Te > Ts`` holds over the paper's ``(Ts, Te]``, i.e. at
+points ``Ts+1 … Te`` — constructed here as ``Interval(Ts + 1, Te)`` by
+:func:`repro.intervals.pairing.make_intervals_from_points`.
+
+An :class:`IntervalList` is an immutable, sorted sequence of disjoint,
+non-adjacent intervals (adjacent intervals ``[a, b]``, ``[b+1, c]`` are
+coalesced on normalisation), so each stored interval is maximal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple, Union
+
+__all__ = ["Interval", "IntervalList"]
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A closed integer interval ``[start, end]`` with ``start <= end``."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("empty interval: [%r, %r]" % (self.start, self.end))
+
+    def __contains__(self, point: int) -> bool:
+        return self.start <= point <= self.end
+
+    def __len__(self) -> int:
+        return self.end - self.start + 1
+
+    @property
+    def duration(self) -> int:
+        """Number of time-points covered."""
+        return self.end - self.start + 1
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self.start <= other.end and other.start <= self.end
+
+    def adjacent(self, other: "Interval") -> bool:
+        """True when the two intervals cover contiguous points with no gap."""
+        return self.end + 1 == other.start or other.end + 1 == self.start
+
+    def __repr__(self) -> str:
+        return "(%d, %d]" % (self.start - 1, self.end)
+
+
+class IntervalList:
+    """An immutable sorted list of disjoint maximal intervals."""
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, intervals: Iterable[Union[Interval, Tuple[int, int]]] = ()) -> None:
+        items: List[Interval] = []
+        for item in intervals:
+            if isinstance(item, Interval):
+                items.append(item)
+            else:
+                start, end = item
+                items.append(Interval(int(start), int(end)))
+        self._intervals: Tuple[Interval, ...] = self._normalise(items)
+
+    @staticmethod
+    def _normalise(items: List[Interval]) -> Tuple[Interval, ...]:
+        if not items:
+            return ()
+        items = sorted(items)
+        merged: List[Interval] = [items[0]]
+        for current in items[1:]:
+            last = merged[-1]
+            if current.start <= last.end + 1:  # overlapping or adjacent
+                if current.end > last.end:
+                    merged[-1] = Interval(last.start, current.end)
+            else:
+                merged.append(current)
+        return tuple(merged)
+
+    @classmethod
+    def empty(cls) -> "IntervalList":
+        return _EMPTY
+
+    @classmethod
+    def single(cls, start: int, end: int) -> "IntervalList":
+        return cls([(start, end)])
+
+    # -- queries -----------------------------------------------------------
+
+    def holds_at(self, point: int) -> bool:
+        """Binary-search point membership."""
+        lo, hi = 0, len(self._intervals) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            interval = self._intervals[mid]
+            if point < interval.start:
+                hi = mid - 1
+            elif point > interval.end:
+                lo = mid + 1
+            else:
+                return True
+        return False
+
+    @property
+    def total_duration(self) -> int:
+        """Total number of time-points covered by all intervals."""
+        return sum(iv.duration for iv in self._intervals)
+
+    @property
+    def span(self) -> Tuple[int, int]:
+        """(first covered point, last covered point); raises on empty lists."""
+        if not self._intervals:
+            raise ValueError("empty interval list has no span")
+        return self._intervals[0].start, self._intervals[-1].end
+
+    def points(self) -> Iterator[int]:
+        """Yield every covered time-point in increasing order."""
+        for interval in self._intervals:
+            yield from range(interval.start, interval.end + 1)
+
+    def restrict(self, start: int, end: int) -> "IntervalList":
+        """Clip to the closed window ``[start, end]`` (used by the sliding window)."""
+        clipped = []
+        for iv in self._intervals:
+            if iv.end < start or iv.start > end:
+                continue
+            clipped.append(Interval(max(iv.start, start), min(iv.end, end)))
+        return IntervalList(clipped)
+
+    # -- container protocol --------------------------------------------------
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._intervals)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __getitem__(self, index: int) -> Interval:
+        return self._intervals[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._intervals)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalList):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        return hash(self._intervals)
+
+    def __repr__(self) -> str:
+        return "IntervalList(%s)" % ", ".join(repr(iv) for iv in self._intervals)
+
+    def as_pairs(self) -> List[Tuple[int, int]]:
+        """Return the intervals as ``(start, end)`` tuples (closed bounds)."""
+        return [(iv.start, iv.end) for iv in self._intervals]
+
+
+_EMPTY = IntervalList()

@@ -1,0 +1,98 @@
+"""The RTEC interval manipulation constructs (Definition 2.4).
+
+``union_all``, ``intersect_all`` and ``relative_complement_all`` operate on
+lists of maximal-interval lists and always return a normalised
+:class:`~repro.intervals.interval.IntervalList`. All three run in
+``O(total number of intervals × log)`` via sweep over sorted endpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.intervals.interval import Interval, IntervalList
+
+__all__ = ["union_all", "intersect_all", "relative_complement_all", "complement_within"]
+
+
+def union_all(interval_lists: Sequence[IntervalList]) -> IntervalList:
+    """Maximal intervals during which *at least one* of the inputs holds.
+
+    ``union_all([]) == IntervalList.empty()``.
+    """
+    combined: List[Interval] = []
+    for interval_list in interval_lists:
+        combined.extend(interval_list)
+    return IntervalList(combined)
+
+
+def intersect_all(interval_lists: Sequence[IntervalList]) -> IntervalList:
+    """Maximal intervals during which *all* of the inputs hold simultaneously.
+
+    The intersection of zero lists is undefined in RTEC; we raise to surface
+    malformed generated rules instead of silently returning everything.
+    """
+    lists = list(interval_lists)
+    if not lists:
+        raise ValueError("intersect_all requires at least one interval list")
+    result = lists[0]
+    for other in lists[1:]:
+        result = _intersect_two(result, other)
+        if not result:
+            break
+    return result
+
+
+def _intersect_two(left: IntervalList, right: IntervalList) -> IntervalList:
+    out: List[Interval] = []
+    i = j = 0
+    left_items = list(left)
+    right_items = list(right)
+    while i < len(left_items) and j < len(right_items):
+        a, b = left_items[i], right_items[j]
+        start = max(a.start, b.start)
+        end = min(a.end, b.end)
+        if start <= end:
+            out.append(Interval(start, end))
+        if a.end < b.end:
+            i += 1
+        else:
+            j += 1
+    return IntervalList(out)
+
+
+def relative_complement_all(
+    base: IntervalList, interval_lists: Sequence[IntervalList]
+) -> IntervalList:
+    """Maximal sub-intervals of ``base`` during which *none* of the inputs hold.
+
+    This is RTEC's ``relative_complement_all(I', L, I)``: the part of ``I'``
+    not covered by the union of the lists in ``L``.
+    """
+    covered = union_all(list(interval_lists))
+    if not covered:
+        return base
+    out: List[Interval] = []
+    cov = list(covered)
+    for interval in base:
+        cursor = interval.start
+        for c in cov:
+            if c.end < cursor:
+                continue
+            if c.start > interval.end:
+                break
+            if c.start > cursor:
+                out.append(Interval(cursor, c.start - 1))
+            cursor = max(cursor, c.end + 1)
+            if cursor > interval.end:
+                break
+        if cursor <= interval.end:
+            out.append(Interval(cursor, interval.end))
+    return IntervalList(out)
+
+
+def complement_within(window: Tuple[int, int], interval_list: IntervalList) -> IntervalList:
+    """Maximal intervals inside the closed window where ``interval_list`` does not hold."""
+    start, end = window
+    base = IntervalList.single(start, end)
+    return relative_complement_all(base, [interval_list])

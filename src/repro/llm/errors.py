@@ -1,0 +1,279 @@
+"""Error-injection transformations for simulated LLM generation.
+
+The paper's qualitative error assessment (Section 5.2) groups the errors of
+LLM-generated event descriptions into four categories:
+
+1. minor naming divergences for events, activities and background
+   knowledge (:class:`RenameFunctor`, :class:`RenameConstant`);
+2. modelling an activity with the wrong fluent type, or otherwise
+   re-formalising it from scratch (:class:`ReplaceRules`);
+3. conditions referencing activities that are undefined in the generated
+   event description (:class:`AddCondition` with an undefined fluent);
+4. wrong operators between activities — most prominently confusing
+   ``union_all`` with ``intersect_all`` (:class:`SwapOperator`).
+
+Each transformation rewrites a parsed rule list; a simulated model's
+profile is a per-activity composition of transformations applied to the
+gold-standard rules — the simulated counterpart of a pre-trained model
+reproducing a definition imperfectly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.logic.parser import Literal, Rule, parse_program, parse_term
+from repro.logic.terms import Compound, Constant, Term, Variable
+
+__all__ = [
+    "Transformation",
+    "RenameFunctor",
+    "RenameConstant",
+    "RenameVariable",
+    "SwapOperator",
+    "SwapArguments",
+    "DropRule",
+    "DropCondition",
+    "AddCondition",
+    "ReplaceRules",
+    "apply_all",
+]
+
+
+def _rewrite(term: Term, fn) -> Term:
+    """Bottom-up term rewriting: ``fn`` maps each node to a node."""
+    if isinstance(term, Compound):
+        rebuilt = Compound(term.functor, tuple(_rewrite(arg, fn) for arg in term.args))
+        return fn(rebuilt)
+    return fn(term)
+
+
+def _rewrite_rule(rule: Rule, fn) -> Rule:
+    head = _rewrite(rule.head, fn)
+    body = tuple(Literal(_rewrite(lit.term, fn), lit.negated) for lit in rule.body)
+    return Rule(head, body)
+
+
+class Transformation:
+    """Base class; subclasses override :meth:`apply`."""
+
+    def apply(self, rules: List[Rule], rng: random.Random) -> List[Rule]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class RenameFunctor(Transformation):
+    """Rename a predicate/fluent/event functor throughout the rules
+    (error category 1 — e.g. ``gap_start`` -> ``gapStart``)."""
+
+    old: str
+    new: str
+
+    def apply(self, rules: List[Rule], rng: random.Random) -> List[Rule]:
+        def fn(term: Term) -> Term:
+            if isinstance(term, Compound) and term.functor == self.old:
+                return Compound(self.new, term.args)
+            return term
+
+        return [_rewrite_rule(rule, fn) for rule in rules]
+
+
+@dataclass(frozen=True)
+class RenameConstant(Transformation):
+    """Rename a constant throughout the rules (error category 1 — e.g.
+    ``fishing`` -> ``trawlingArea``, the o1 error discussed in Section 5.2)."""
+
+    old: str
+    new: str
+
+    def apply(self, rules: List[Rule], rng: random.Random) -> List[Rule]:
+        def fn(term: Term) -> Term:
+            if isinstance(term, Constant) and term.value == self.old:
+                return Constant(self.new)
+            return term
+
+        return [_rewrite_rule(rule, fn) for rule in rules]
+
+
+@dataclass(frozen=True)
+class RenameVariable(Transformation):
+    """Rename a variable throughout the rules. Harmless by construction:
+    the similarity metric assigns distance 0 to consistent renamings
+    (Example 4.13, rules (1) vs (6))."""
+
+    old: str
+    new: str
+
+    def apply(self, rules: List[Rule], rng: random.Random) -> List[Rule]:
+        def fn(term: Term) -> Term:
+            if isinstance(term, Variable) and term.name == self.old:
+                return Variable(self.new)
+            return term
+
+        return [_rewrite_rule(rule, fn) for rule in rules]
+
+
+@dataclass(frozen=True)
+class SwapOperator(Transformation):
+    """Replace one interval operator with another in holdsFor rules
+    (error category 4 — ``union_all`` vs ``intersect_all``)."""
+
+    old: str = "union_all"
+    new: str = "intersect_all"
+    rule_index: Optional[int] = None  # None: all rules
+
+    def apply(self, rules: List[Rule], rng: random.Random) -> List[Rule]:
+        def fn(term: Term) -> Term:
+            if isinstance(term, Compound) and term.functor == self.old:
+                return Compound(self.new, term.args)
+            return term
+
+        out = []
+        for index, rule in enumerate(rules):
+            if self.rule_index is None or index == self.rule_index:
+                out.append(_rewrite_rule(rule, fn))
+            else:
+                out.append(rule)
+        return out
+
+
+@dataclass(frozen=True)
+class SwapArguments(Transformation):
+    """Reverse the arguments of a binary predicate (cf. rule (7) of the
+    paper: ``areaType(AreaType, AreaID)``)."""
+
+    functor: str
+
+    def apply(self, rules: List[Rule], rng: random.Random) -> List[Rule]:
+        def fn(term: Term) -> Term:
+            if isinstance(term, Compound) and term.functor == self.functor and term.arity == 2:
+                return Compound(term.functor, (term.args[1], term.args[0]))
+            return term
+
+        return [_rewrite_rule(rule, fn) for rule in rules]
+
+
+@dataclass(frozen=True)
+class DropRule(Transformation):
+    """Omit one rule (e.g. a forgotten gap-termination rule)."""
+
+    index: int
+
+    def apply(self, rules: List[Rule], rng: random.Random) -> List[Rule]:
+        if not 0 <= self.index < len(rules):
+            return list(rules)
+        return [rule for i, rule in enumerate(rules) if i != self.index]
+
+
+@dataclass(frozen=True)
+class DropCondition(Transformation):
+    """Omit one body condition of one rule."""
+
+    rule_index: int
+    condition_index: int
+
+    def apply(self, rules: List[Rule], rng: random.Random) -> List[Rule]:
+        out = list(rules)
+        if not 0 <= self.rule_index < len(out):
+            return out
+        rule = out[self.rule_index]
+        if not 0 <= self.condition_index < len(rule.body):
+            return out
+        body = tuple(
+            lit for i, lit in enumerate(rule.body) if i != self.condition_index
+        )
+        out[self.rule_index] = Rule(rule.head, body)
+        return out
+
+
+@dataclass(frozen=True)
+class AddCondition(Transformation):
+    """Insert a condition into one rule.
+
+    With a condition referencing an undefined activity this realises error
+    category 3; with a defined but superfluous activity it realises the
+    "one redundant condition" observed for trawling in Section 5.2.
+    """
+
+    rule_index: int
+    condition: str  # concrete RTEC syntax, e.g. "holdsAt(underWay(Vessel)=true, T)"
+    negated: bool = False
+    position: Optional[int] = None  # None: append
+
+    def apply(self, rules: List[Rule], rng: random.Random) -> List[Rule]:
+        out = list(rules)
+        if not 0 <= self.rule_index < len(out):
+            return out
+        rule = out[self.rule_index]
+        literal = Literal(parse_term(self.condition), self.negated)
+        body = list(rule.body)
+        if self.position is None:
+            body.append(literal)
+        else:
+            body.insert(self.position, literal)
+        out[self.rule_index] = Rule(rule.head, tuple(body))
+        return out
+
+
+@dataclass(frozen=True)
+class TruncateRules(Transformation):
+    """Keep only the first ``count`` rules — a model that sketches the
+    beginning of a definition and trails off (typical of zero-shot output)."""
+
+    count: int = 1
+
+    def apply(self, rules: List[Rule], rng: random.Random) -> List[Rule]:
+        return list(rules[: max(0, self.count)])
+
+
+@dataclass(frozen=True)
+class CorruptSyntax(Transformation):
+    """A *text-level* corruption (a genuine syntactic mistake): applied by
+    the simulated model after rendering, not on the parsed rules. The
+    pipeline will record a parse error for the affected activity.
+
+    ``kind`` is one of ``"drop-final-period"`` and ``"unbalanced-paren"``.
+    """
+
+    kind: str = "drop-final-period"
+
+    def apply(self, rules: List[Rule], rng: random.Random) -> List[Rule]:
+        return list(rules)  # the corruption happens at text level
+
+    def corrupt(self, text: str) -> str:
+        if self.kind == "drop-final-period":
+            index = text.rfind(".")
+            if index >= 0:
+                text = text[:index] + text[index + 1 :]
+            return text
+        if self.kind == "unbalanced-paren":
+            index = text.rfind(")")
+            if index >= 0:
+                text = text[:index] + text[index + 1 :]
+            return text
+        raise ValueError("unknown corruption kind %r" % self.kind)
+
+
+@dataclass(frozen=True)
+class ReplaceRules(Transformation):
+    """Replace the whole definition with alternative rules (error category
+    2 — wrong fluent type, or a from-scratch re-formalisation)."""
+
+    text: str
+
+    def apply(self, rules: List[Rule], rng: random.Random) -> List[Rule]:
+        return parse_program(self.text)
+
+
+def apply_all(
+    rules: Sequence[Rule],
+    transformations: Sequence[Transformation],
+    rng: random.Random,
+) -> List[Rule]:
+    """Apply the transformations left to right."""
+    out = list(rules)
+    for transformation in transformations:
+        out = transformation.apply(out, rng)
+    return out

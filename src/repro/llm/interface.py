@@ -1,0 +1,41 @@
+"""The LLM client protocol.
+
+The generation pipeline talks to any chat-completion backend through
+:class:`LLMClient`. The reproduction ships :class:`~repro.llm.simulated.SimulatedLLM`
+(no network access is available in this environment); a thin adapter over
+the OpenAI or Groq SDKs — the backends used by the paper — only needs to
+implement :meth:`LLMClient.complete`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Protocol, Sequence, runtime_checkable
+
+__all__ = ["ChatMessage", "LLMClient"]
+
+
+@dataclass(frozen=True)
+class ChatMessage:
+    """One message of a chat conversation."""
+
+    role: str  # 'system' | 'user' | 'assistant'
+    content: str
+
+    def __post_init__(self) -> None:
+        if self.role not in ("system", "user", "assistant"):
+            raise ValueError("unknown chat role %r" % self.role)
+
+
+@runtime_checkable
+class LLMClient(Protocol):
+    """A chat-completion backend."""
+
+    @property
+    def model_name(self) -> str:
+        """The model identifier (e.g. ``"o1"``)."""
+        ...
+
+    def complete(self, conversation: Sequence[ChatMessage]) -> str:
+        """Return the assistant's reply to ``conversation``."""
+        ...

@@ -1,0 +1,345 @@
+"""Parser for the RTEC rule dialect used throughout the reproduction.
+
+The concrete syntax follows the paper (Definitions 2.2 and 2.4):
+
+.. code-block:: prolog
+
+    initiatedAt(withinArea(Vessel, AreaType)=true, T) :-
+        happensAt(entersArea(Vessel, Area), T),
+        areaType(Area, AreaType).
+
+    holdsFor(underWay(Vessel)=true, I) :-
+        holdsFor(movingSpeed(Vessel)=below, I1),
+        holdsFor(movingSpeed(Vessel)=normal, I2),
+        holdsFor(movingSpeed(Vessel)=above, I3),
+        union_all([I1, I2, I3], I).
+
+Supported constructs:
+
+* facts and rules, terminated by ``.``;
+* ``not`` and ``\\+`` prefix negation on body literals;
+* infix ``=`` building fluent-value pairs (``'='(F, V)``), and infix
+  comparison operators ``<``, ``>``, ``=<``, ``>=``, ``=:=``, ``=\\=``;
+* lists ``[I1, I2]``, represented as the reserved compound ``list(...)``
+  (the empty list is the constant ``[]``);
+* ``%`` line comments;
+* integers, floats, single-quoted atoms.
+
+The parser is deliberately strict: anything outside this dialect raises
+:class:`ParseError` with a line/column position, because the LLM-generated
+event descriptions must be *validated*, not silently repaired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.logic.terms import Compound, Constant, Term, Variable
+
+__all__ = [
+    "ParseError",
+    "Literal",
+    "Rule",
+    "Token",
+    "tokenize",
+    "parse_term",
+    "parse_rule",
+    "parse_program",
+    "LIST_FUNCTOR",
+    "COMPARISON_OPERATORS",
+]
+
+LIST_FUNCTOR = "list"
+
+#: Infix comparison operators accepted in rule bodies.
+COMPARISON_OPERATORS = ("=<", ">=", "=:=", "=\\=", "<", ">")
+
+_SYMBOLIC_TOKENS = (
+    ":-",
+    "=<",
+    ">=",
+    "=:=",
+    "=\\=",
+    "\\+",
+    "(",
+    ")",
+    "[",
+    "]",
+    ",",
+    ".",
+    "=",
+    "<",
+    ">",
+)
+
+
+class ParseError(ValueError):
+    """Raised when the input text is not in the supported RTEC dialect."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__("%s (line %d, column %d)" % (message, line, column))
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'atom' | 'var' | 'number' | 'punct' | 'end'
+    text: str
+    line: int
+    column: int
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A rule-body condition: a term with an optional negation-by-failure flag."""
+
+    term: Term
+    negated: bool = False
+
+    def __repr__(self) -> str:
+        return ("not %r" % (self.term,)) if self.negated else repr(self.term)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A rule ``head :- body`` (facts have an empty body)."""
+
+    head: Term
+    body: Tuple[Literal, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.body
+
+    def __repr__(self) -> str:
+        if self.is_fact:
+            return "%r." % (self.head,)
+        return "%r :- %s." % (self.head, ", ".join(repr(b) for b in self.body))
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split ``text`` into tokens, dropping whitespace and ``%`` comments."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(text)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and text[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if ch == "%":
+            while i < n and text[i] != "\n":
+                advance(1)
+            continue
+        if ch == "'":
+            start_line, start_col = line, col
+            advance(1)
+            start = i
+            while i < n and text[i] != "'":
+                advance(1)
+            if i >= n:
+                raise ParseError("unterminated quoted atom", start_line, start_col)
+            tokens.append(Token("atom", text[start:i], start_line, start_col))
+            advance(1)
+            continue
+        if ch.isdigit() or (
+            ch == "-" and i + 1 < n and text[i + 1].isdigit() and _starts_number(tokens)
+        ):
+            start_line, start_col = line, col
+            start = i
+            advance(1)
+            while i < n and (text[i].isdigit() or text[i] == "."):
+                # A '.' ends the number unless followed by another digit
+                # (so that 'f(3).' parses as number 3 then '.').
+                if text[i] == "." and not (i + 1 < n and text[i + 1].isdigit()):
+                    break
+                advance(1)
+            tokens.append(Token("number", text[start:i], start_line, start_col))
+            continue
+        if ch.isalpha() or ch == "_":
+            start_line, start_col = line, col
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                advance(1)
+            word = text[start:i]
+            kind = "var" if (word[0].isupper() or word[0] == "_") else "atom"
+            tokens.append(Token(kind, word, start_line, start_col))
+            continue
+        matched = False
+        for sym in _SYMBOLIC_TOKENS:
+            if text.startswith(sym, i):
+                tokens.append(Token("punct", sym, line, col))
+                advance(len(sym))
+                matched = True
+                break
+        if not matched:
+            raise ParseError("unexpected character %r" % ch, line, col)
+    tokens.append(Token("end", "", line, col))
+    return tokens
+
+
+def _starts_number(tokens: Sequence[Token]) -> bool:
+    """True when a ``-`` at the current position begins a negative number literal."""
+    if not tokens:
+        return True
+    prev = tokens[-1]
+    return prev.kind == "punct" and prev.text in ("(", "[", ",") + COMPARISON_OPERATORS
+
+
+class _Parser:
+    def __init__(self, tokens: Sequence[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def next(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.kind != "end":
+            self._pos += 1
+        return tok
+
+    def expect(self, text: str) -> Token:
+        tok = self.peek()
+        if tok.kind == "punct" and tok.text == text:
+            return self.next()
+        raise ParseError(
+            "expected %r, found %r" % (text, tok.text or "<end>"), tok.line, tok.column
+        )
+
+    def at(self, text: str) -> bool:
+        tok = self.peek()
+        return tok.kind == "punct" and tok.text == text
+
+    # -- grammar ---------------------------------------------------------
+
+    def parse_term(self) -> Term:
+        """term := primary (('=' | comparison-op) primary)?"""
+        left = self.parse_primary()
+        tok = self.peek()
+        if tok.kind == "punct" and (tok.text == "=" or tok.text in COMPARISON_OPERATORS):
+            self.next()
+            right = self.parse_primary()
+            return Compound(tok.text, (left, right))
+        return left
+
+    def parse_primary(self) -> Term:
+        tok = self.peek()
+        if tok.kind == "number":
+            self.next()
+            if "." in tok.text:
+                return Constant(float(tok.text))
+            return Constant(int(tok.text))
+        if tok.kind == "var":
+            self.next()
+            return Variable(tok.text)
+        if tok.kind == "atom":
+            self.next()
+            if self.at("("):
+                self.next()
+                args = self.parse_term_list(")")
+                self.expect(")")
+                return Compound(tok.text, tuple(args))
+            return Constant(tok.text)
+        if self.at("["):
+            self.next()
+            if self.at("]"):
+                self.next()
+                return Constant("[]")
+            items = self.parse_term_list("]")
+            self.expect("]")
+            return Compound(LIST_FUNCTOR, tuple(items))
+        raise ParseError(
+            "expected a term, found %r" % (tok.text or "<end>"), tok.line, tok.column
+        )
+
+    def parse_term_list(self, closer: str) -> List[Term]:
+        items = [self.parse_term()]
+        while self.at(","):
+            self.next()
+            items.append(self.parse_term())
+        return items
+
+    def parse_literal(self) -> Literal:
+        tok = self.peek()
+        negated = False
+        if (tok.kind == "atom" and tok.text == "not") or (
+            tok.kind == "punct" and tok.text == "\\+"
+        ):
+            # 'not' only acts as negation when followed by something that can
+            # start a term inside the same literal; 'not(...)' and 'not foo'
+            # both negate.
+            self.next()
+            negated = True
+            if self.at("("):
+                self.next()
+                term = self.parse_term()
+                self.expect(")")
+                return Literal(term, negated=True)
+        term = self.parse_term()
+        return Literal(term, negated=negated)
+
+    def parse_rule(self) -> Rule:
+        head = self.parse_term()
+        if self.at("."):
+            self.next()
+            return Rule(head)
+        self.expect(":-")
+        body = [self.parse_literal()]
+        while self.at(","):
+            self.next()
+            body.append(self.parse_literal())
+        self.expect(".")
+        return Rule(head, tuple(body))
+
+    def parse_program(self) -> List[Rule]:
+        rules: List[Rule] = []
+        while self.peek().kind != "end":
+            rules.append(self.parse_rule())
+        return rules
+
+
+def parse_term(text: str) -> Term:
+    """Parse a single term, e.g. ``"happensAt(entersArea(Vl, A), T)"``."""
+    parser = _Parser(tokenize(text))
+    term = parser.parse_term()
+    tok = parser.peek()
+    if tok.kind != "end":
+        raise ParseError("trailing input after term: %r" % tok.text, tok.line, tok.column)
+    return term
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single rule or fact, terminated by ``.``."""
+    parser = _Parser(tokenize(text))
+    rule = parser.parse_rule()
+    tok = parser.peek()
+    if tok.kind != "end":
+        raise ParseError("trailing input after rule: %r" % tok.text, tok.line, tok.column)
+    return rule
+
+
+def parse_program(text: str) -> List[Rule]:
+    """Parse a whole event description (a sequence of rules and facts)."""
+    return _Parser(tokenize(text)).parse_program()

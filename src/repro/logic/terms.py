@@ -1,0 +1,131 @@
+"""First-order term representation for RTEC rules.
+
+Terms come in three shapes:
+
+* :class:`Variable` — a logic variable (``Vessel``, ``T``). Identified by
+  name within a rule.
+* :class:`Constant` — an atom (``fishing``), a number (``23``, ``0.5``) or a
+  string. Atoms are stored as ``str``, numbers as ``int``/``float``.
+* :class:`Compound` — a functor applied to one or more argument terms
+  (``entersArea(Vessel, Area)``). A fluent-value pair ``F = V`` is the
+  compound ``'='(F, V)``, mirroring the prefix reading used by the paper
+  (Example 4.10).
+
+All terms are immutable and hashable so they can be used as dictionary keys
+(e.g. to index maximal-interval caches by ground FVP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple, Union
+
+__all__ = [
+    "Term",
+    "Variable",
+    "Constant",
+    "Compound",
+    "fvp",
+    "make_atom",
+    "is_fvp",
+    "is_ground",
+    "term_variables",
+    "walk_subterms",
+]
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A logic variable, e.g. ``Vessel`` or ``T``."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Constant:
+    """An atom, number or string constant.
+
+    ``value`` holds a ``str`` for atoms (``fishing``) and an ``int`` or
+    ``float`` for numbers.
+    """
+
+    value: Union[str, int, float]
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+    @property
+    def is_number(self) -> bool:
+        return isinstance(self.value, (int, float))
+
+
+@dataclass(frozen=True)
+class Compound:
+    """A functor with arguments, e.g. ``entersArea(Vessel, Area)``."""
+
+    functor: str
+    args: Tuple["Term", ...]
+
+    def __post_init__(self) -> None:
+        if not self.args:
+            raise ValueError(
+                "Compound terms need at least one argument; "
+                "use Constant for zero-arity atoms"
+            )
+        object.__setattr__(self, "args", tuple(self.args))
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def __repr__(self) -> str:
+        return "%s(%s)" % (self.functor, ", ".join(repr(a) for a in self.args))
+
+
+Term = Union[Variable, Constant, Compound]
+
+
+def make_atom(functor: str, *args: Term) -> Term:
+    """Build ``functor(*args)``, or a plain atom when no args are given."""
+    if not args:
+        return Constant(functor)
+    return Compound(functor, tuple(args))
+
+
+def fvp(fluent: Term, value: Term) -> Compound:
+    """Build the fluent-value pair ``fluent = value`` as ``'='(fluent, value)``."""
+    return Compound("=", (fluent, value))
+
+
+def is_fvp(term: Term) -> bool:
+    """True when ``term`` has the shape ``F = V``."""
+    return isinstance(term, Compound) and term.functor == "=" and term.arity == 2
+
+
+def is_ground(term: Term) -> bool:
+    """True when ``term`` contains no variables."""
+    if isinstance(term, Variable):
+        return False
+    if isinstance(term, Constant):
+        return True
+    return all(is_ground(arg) for arg in term.args)
+
+
+def term_variables(term: Term) -> "list[Variable]":
+    """All variables of ``term`` in depth-first, left-to-right order, deduplicated."""
+    seen = []
+    for sub in walk_subterms(term):
+        if isinstance(sub, Variable) and sub not in seen:
+            seen.append(sub)
+    return seen
+
+
+def walk_subterms(term: Term) -> Iterator[Term]:
+    """Yield ``term`` and every subterm, depth-first and left-to-right."""
+    yield term
+    if isinstance(term, Compound):
+        for arg in term.args:
+            yield from walk_subterms(arg)

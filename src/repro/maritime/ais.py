@@ -1,0 +1,65 @@
+"""AIS position messages and vessel metadata.
+
+An :class:`AISMessage` is the synthetic counterpart of one Automatic
+Identification System position report of the Brest dataset: timestamp,
+vessel id, planar position (nautical miles), speed over ground (knots),
+course over ground and true heading (degrees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["AISMessage", "Vessel", "VESSEL_SPEED_RANGES"]
+
+
+@dataclass(frozen=True, order=True)
+class AISMessage:
+    """One AIS position report."""
+
+    time: int
+    vessel: str
+    x: float
+    y: float
+    speed: float
+    course: float
+    heading: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("AIS timestamps are non-negative seconds")
+        if self.speed < 0:
+            raise ValueError("speed over ground cannot be negative")
+
+
+#: Typical service speed range (knots) per vessel type, used as the
+#: ``vesselSpeedRange/3`` background knowledge.
+VESSEL_SPEED_RANGES: Dict[str, Tuple[float, float]] = {
+    "fishing": (4.0, 12.0),
+    "cargo": (8.0, 18.0),
+    "tanker": (7.0, 16.0),
+    "passenger": (15.0, 30.0),
+    "tug": (3.0, 10.0),
+    "pilot": (5.0, 25.0),
+    "sar": (6.0, 20.0),
+}
+
+
+@dataclass(frozen=True)
+class Vessel:
+    """Vessel metadata: id and type (the type drives background knowledge)."""
+
+    vessel_id: str
+    vessel_type: str
+
+    def __post_init__(self) -> None:
+        if self.vessel_type not in VESSEL_SPEED_RANGES:
+            raise ValueError(
+                "unknown vessel type %r; known: %s"
+                % (self.vessel_type, sorted(VESSEL_SPEED_RANGES))
+            )
+
+    @property
+    def speed_range(self) -> Tuple[float, float]:
+        return VESSEL_SPEED_RANGES[self.vessel_type]

@@ -1,0 +1,353 @@
+"""Synthetic Brest-like maritime dataset builder.
+
+The paper evaluates on 18M real AIS messages around the port of Brest; we
+substitute a scripted, seeded synthetic fleet whose behaviours exercise all
+eight composite activities of Figure 2 (plus negative traffic), so that the
+predictive-accuracy experiment (Figure 2c) can compare LLM-generated and
+gold definitions on streams where they disagree in the documented ways.
+
+Scenarios:
+
+* ``trawler1``/``trawler2`` — fishing vessels zig-zagging at trawling speed
+  inside the fisheries area (``trawling``);
+* ``speeder1`` — a passenger vessel crossing the coastal band at 22 knots
+  (``highSpeedNearCoast``);
+* ``anchored1`` — a cargo vessel stopped inside the anchorage, far from
+  ports, and ``moored1`` — a tanker stopped inside the port
+  (``anchoredOrMoored``);
+* ``barge1`` + ``tug1`` — a towed transit at 4.5 knots in close proximity
+  (``tugging``);
+* ``pilot1`` + ``tanker2`` — a pilot vessel holding alongside a stopped
+  tanker far from ports (``pilotBoarding``);
+* ``loiterer1`` — a cargo vessel wandering at 2 knots far from ports,
+  outside the anchorage (``loitering``);
+* ``sar1`` — a SAR vessel flying an expanding sweep at 8 knots
+  (``searchAndRescue``);
+* ``drifter1`` — a cargo vessel moving at 2.5 knots with a 60-degree
+  course/heading divergence (``drifting``);
+* ``gapper1`` — a cargo vessel going silent for an hour far from ports
+  (communication gap);
+* ``traffic*`` — background port-to-port transits (negatives).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.logic.knowledge import KnowledgeBase
+from repro.maritime.ais import AISMessage, Vessel, VESSEL_SPEED_RANGES
+from repro.maritime.critical_events import CriticalEventDetector, DetectedStream
+from repro.maritime.geometry import Geography, default_geography
+from repro.maritime.gold import MARITIME_VOCABULARY
+from repro.maritime.thresholds import (
+    DEFAULT_THRESHOLDS,
+    DETECTOR_SETTINGS,
+    DetectorSettings,
+    Thresholds,
+)
+from repro.maritime.trajectories import Phase, leg_towards, simulate_vessel
+from repro.rtec.description import Vocabulary
+from repro.rtec.stream import EventStream, InputFluents
+
+__all__ = ["MaritimeDataset", "build_dataset", "build_knowledge_base"]
+
+
+@dataclass
+class MaritimeDataset:
+    """Everything the RTEC engine needs to run over the synthetic fleet."""
+
+    vessels: List[Vessel]
+    messages: List[AISMessage]
+    stream: EventStream
+    input_fluents: InputFluents
+    kb: KnowledgeBase
+    vocabulary: Vocabulary
+    geography: Geography
+    thresholds: Thresholds
+
+    @property
+    def duration(self) -> int:
+        return (self.stream.max_time or 0) - (self.stream.min_time or 0)
+
+
+def build_knowledge_base(
+    vessels: Sequence[Vessel],
+    geography: Geography,
+    thresholds: Thresholds = DEFAULT_THRESHOLDS,
+) -> KnowledgeBase:
+    """Background knowledge: areas, vessel types/speed ranges, thresholds,
+    and the tug/pilot pair predicates used by ``tugging``/``pilotBoarding``."""
+    lines: List[str] = []
+    for area in geography:
+        lines.append("areaType(%s, %s)." % (area.area_id, area.area_type))
+    for vessel in vessels:
+        low, high = vessel.speed_range
+        lines.append("vesselType(%s, %s)." % (vessel.vessel_id, vessel.vessel_type))
+        lines.append(
+            "vesselSpeedRange(%s, %r, %r)." % (vessel.vessel_id, low, high)
+        )
+    ordered = sorted(vessels, key=lambda v: v.vessel_id)
+    for i, first in enumerate(ordered):
+        for second in ordered[i + 1 :]:
+            if "tug" in (first.vessel_type, second.vessel_type):
+                lines.append("oneIsTug(%s, %s)." % (first.vessel_id, second.vessel_id))
+            if "pilot" in (first.vessel_type, second.vessel_type):
+                lines.append("oneIsPilot(%s, %s)." % (first.vessel_id, second.vessel_id))
+    kb = KnowledgeBase.from_text("\n".join(lines) + "\n")
+    for rule_text in thresholds.as_facts().splitlines():
+        if rule_text.strip():
+            kb.add(KnowledgeBase.from_text(rule_text).facts().__next__())
+    return kb
+
+
+def _scale(duration: int, scale: float) -> int:
+    return max(60, int(duration * scale))
+
+
+def _scenarios(rng: random.Random, scale: float, traffic: int) -> List[Tuple[Vessel, int, float, float, List[Phase]]]:
+    """(vessel, start_time, start_x, start_y, phases) per scripted scenario."""
+    scn: List[Tuple[Vessel, int, float, float, List[Phase]]] = []
+
+    def trawler(vessel_id: str, start: int, x0: float, y0: float, tx: float, ty: float) -> None:
+        phases = [
+            leg_towards(x0, y0, tx, ty, speed=8.0, period=15),
+            Phase(
+                duration=_scale(7200, scale),
+                speed=3.0,
+                course=60.0,
+                period=15,
+                zigzag_amplitude=40.0,
+                zigzag_period=300,
+                speed_jitter=0.3,
+            ),
+            leg_towards(tx, ty, x0, y0, speed=8.0, period=15),
+        ]
+        scn.append((Vessel(vessel_id, "fishing"), start, x0, y0, phases))
+
+    trawler("trawler1", 600, 8.0, 6.0, 12.0, 10.0)
+    trawler("trawler2", 3000, 9.0, 7.0, 15.0, 12.0)
+
+    # High speed near coast: passenger ferry crossing the coastal band.
+    scn.append(
+        (
+            Vessel("speeder1", "passenger"),
+            1200,
+            -4.0,
+            -4.0,
+            [
+                leg_towards(-4.0, -4.0, 10.0, -4.0, speed=22.0, period=15),
+                leg_towards(10.0, -4.0, 24.0, -4.0, speed=12.0, period=15),
+            ],
+        )
+    )
+
+    # Anchored in the anchorage area, far from ports.
+    scn.append(
+        (
+            Vessel("anchored1", "cargo"),
+            0,
+            4.0,
+            8.0,
+            [
+                leg_towards(4.0, 8.0, 4.0, 1.0, speed=10.0, period=15),
+                Phase(duration=_scale(14400, scale), speed=0.05, course=0.0, period=30),
+                leg_towards(4.0, 1.0, 4.0, 8.0, speed=10.0, period=15),
+            ],
+        )
+    )
+
+    # Moored inside the port of Brest.
+    scn.append(
+        (
+            Vessel("moored1", "tanker"),
+            0,
+            0.5,
+            -4.5,
+            [
+                leg_towards(0.5, -4.5, 0.5, 0.5, speed=9.0, period=15),
+                Phase(duration=_scale(18000, scale), speed=0.05, course=0.0, period=30),
+            ],
+        )
+    )
+
+    # Tugging: a tug towing a barge, in close proximity, both at 4.5 knots.
+    tow = [
+        leg_towards(2.0, -1.0, 14.0, 3.0, speed=4.5, period=15),
+    ]
+    scn.append((Vessel("tug1", "tug"), 1800, 2.0, -1.0, list(tow)))
+    scn.append((Vessel("barge1", "cargo"), 1800, 2.03, -1.03, list(tow)))
+
+    # Pilot boarding: the tanker stops far from ports; the pilot vessel
+    # approaches fast, holds alongside at low speed, then departs. The
+    # tanker's stop must outlast the pilot's (unscaled) approach leg plus
+    # the hold, whatever the scale.
+    hold = _scale(1800, scale)
+    approach = leg_towards(0.5, 0.0, 6.96, 4.0, speed=15.0, period=15)
+    tanker_stop = approach.duration + hold + 900
+    scn.append(
+        (
+            Vessel("tanker2", "tanker"),
+            0,
+            7.0,
+            10.0,
+            [
+                leg_towards(7.0, 10.0, 7.0, 4.0, speed=9.0, period=15),
+                Phase(duration=tanker_stop, speed=0.05, course=0.0, period=30),
+                leg_towards(7.0, 4.0, 7.0, 10.0, speed=9.0, period=15),
+            ],
+        )
+    )
+    scn.append(
+        (
+            Vessel("pilot1", "pilot"),
+            2400,
+            0.5,
+            0.0,
+            [
+                approach,
+                Phase(duration=hold, speed=0.05, course=0.0, period=15),
+                leg_towards(6.96, 4.0, 0.5, 0.0, speed=15.0, period=15),
+            ],
+        )
+    )
+
+    # Loitering: slow wandering far from ports, outside the anchorage.
+    scn.append(
+        (
+            Vessel("loiterer1", "cargo"),
+            900,
+            12.0,
+            0.0,
+            [
+                leg_towards(12.0, 0.0, 12.0, 2.0, speed=10.0, period=15),
+                Phase(
+                    duration=_scale(10800, scale),
+                    speed=2.0,
+                    course=200.0,
+                    period=20,
+                    zigzag_amplitude=60.0,
+                    zigzag_period=900,
+                    speed_jitter=0.4,
+                ),
+                leg_towards(12.0, 2.0, 12.0, 0.0, speed=10.0, period=15),
+            ],
+        )
+    )
+
+    # Search and rescue: an expanding sweep at 8 knots.
+    scn.append(
+        (
+            Vessel("sar1", "sar"),
+            1500,
+            16.0,
+            2.0,
+            [
+                Phase(
+                    duration=_scale(7200, scale),
+                    speed=8.0,
+                    course=0.0,
+                    period=15,
+                    zigzag_amplitude=45.0,
+                    zigzag_period=240,
+                    speed_jitter=0.5,
+                ),
+            ],
+        )
+    )
+
+    # Drifting: moving with the current, bow 60 degrees off the course.
+    scn.append(
+        (
+            Vessel("drifter1", "cargo"),
+            300,
+            18.0,
+            0.0,
+            [
+                leg_towards(18.0, 0.0, 19.0, 1.0, speed=8.0, period=15),
+                Phase(
+                    duration=_scale(7200, scale),
+                    speed=2.5,
+                    course=90.0,
+                    period=15,
+                    heading_offset=60.0,
+                ),
+                leg_towards(19.0, 1.0, 18.0, 0.0, speed=8.0, period=15),
+            ],
+        )
+    )
+
+    # Communication gap far from ports. The silent phase must exceed the
+    # detector's gap threshold (1800 s) at every scale.
+    silent = max(2400, _scale(3600, scale))
+    scn.append(
+        (
+            Vessel("gapper1", "cargo"),
+            0,
+            10.0,
+            4.0,
+            [
+                Phase(duration=_scale(2400, scale), speed=10.0, course=45.0, period=30),
+                Phase(duration=silent, speed=10.0, course=45.0, period=30, transmit=False),
+                Phase(duration=_scale(2400, scale), speed=10.0, course=45.0, period=30),
+            ],
+        )
+    )
+
+    # Background traffic: normal port-to-port transits (negatives).
+    for index in range(traffic):
+        offset = 0.6 * index
+        start = 300 * index
+        scn.append(
+            (
+                Vessel("traffic%d" % (index + 1), "cargo"),
+                start,
+                0.0,
+                2.2 + offset,
+                [
+                    leg_towards(0.0, 2.2 + offset, 19.0, 5.0 + offset, speed=12.0, period=30),
+                ],
+            )
+        )
+    return scn
+
+
+def build_dataset(
+    seed: int = 0,
+    scale: float = 1.0,
+    traffic: int = 6,
+    geography: Geography = None,
+    thresholds: Thresholds = DEFAULT_THRESHOLDS,
+    settings: DetectorSettings = DETECTOR_SETTINGS,
+) -> MaritimeDataset:
+    """Build the synthetic dataset.
+
+    ``scale`` shrinks or stretches the durations of all activity phases
+    (1.0 is roughly a six-hour window around Brest); ``traffic`` is the
+    number of background transit vessels.
+    """
+    if geography is None:
+        geography = default_geography()
+    rng = random.Random(seed)
+    vessels: List[Vessel] = []
+    messages: List[AISMessage] = []
+    for vessel, start, x0, y0, phases in _scenarios(rng, scale, traffic):
+        vessels.append(vessel)
+        messages.extend(
+            simulate_vessel(vessel, phases, rng, start_time=start, start_x=x0, start_y=y0)
+        )
+    messages.sort()
+    detector = CriticalEventDetector(geography, settings)
+    detected = detector.detect(messages)
+    kb = build_knowledge_base(vessels, geography, thresholds)
+    return MaritimeDataset(
+        vessels=vessels,
+        messages=messages,
+        stream=detected.events,
+        input_fluents=detected.proximity,
+        kb=kb,
+        vocabulary=MARITIME_VOCABULARY,
+        geography=geography,
+        thresholds=thresholds,
+    )

@@ -1,0 +1,111 @@
+"""Planar geometry for the synthetic maritime world.
+
+Positions are planar coordinates in nautical miles around the port of
+reference (a simplification of the Brest area of the paper's dataset —
+at this scale the geodesic error is irrelevant to event detection).
+Areas of interest are axis-aligned rectangles or circles, each with an id
+and a type (``fishing``, ``anchorage``, ``natura``, ``nearCoast``,
+``nearPorts``); ports are circular ``nearPorts`` areas.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["Area", "RectArea", "CircleArea", "Geography", "distance"]
+
+
+def distance(x1: float, y1: float, x2: float, y2: float) -> float:
+    """Euclidean distance in nautical miles."""
+    return math.hypot(x2 - x1, y2 - y1)
+
+
+@dataclass(frozen=True)
+class RectArea:
+    """An axis-aligned rectangular area of interest."""
+
+    area_id: str
+    area_type: str
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if self.x1 <= self.x0 or self.y1 <= self.y0:
+            raise ValueError("degenerate rectangle for area %r" % self.area_id)
+
+    def contains(self, x: float, y: float) -> bool:
+        return self.x0 <= x <= self.x1 and self.y0 <= y <= self.y1
+
+
+@dataclass(frozen=True)
+class CircleArea:
+    """A circular area of interest (e.g. the waters around a port)."""
+
+    area_id: str
+    area_type: str
+    cx: float
+    cy: float
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise ValueError("non-positive radius for area %r" % self.area_id)
+
+    def contains(self, x: float, y: float) -> bool:
+        return distance(x, y, self.cx, self.cy) <= self.radius
+
+
+Area = "RectArea | CircleArea"
+
+
+class Geography:
+    """The static map: areas of interest, indexed by id and by type."""
+
+    def __init__(self, areas: Sequence["RectArea | CircleArea"]) -> None:
+        self.areas: List["RectArea | CircleArea"] = list(areas)
+        self._by_id: Dict[str, "RectArea | CircleArea"] = {}
+        for area in self.areas:
+            if area.area_id in self._by_id:
+                raise ValueError("duplicate area id %r" % area.area_id)
+            self._by_id[area.area_id] = area
+
+    def area(self, area_id: str) -> "RectArea | CircleArea":
+        return self._by_id[area_id]
+
+    def areas_of_type(self, area_type: str) -> List["RectArea | CircleArea"]:
+        return [a for a in self.areas if a.area_type == area_type]
+
+    def areas_containing(self, x: float, y: float) -> List["RectArea | CircleArea"]:
+        return [a for a in self.areas if a.contains(x, y)]
+
+    def area_types(self) -> List[str]:
+        return sorted({a.area_type for a in self.areas})
+
+    def __iter__(self):
+        return iter(self.areas)
+
+    def __len__(self) -> int:
+        return len(self.areas)
+
+
+def default_geography() -> Geography:
+    """The synthetic Brest-like map used by the experiments.
+
+    Two ports (circular ``nearPorts`` areas), one anchorage next to the main
+    port, one fisheries area offshore, a Natura-2000 strip overlapping it,
+    and a coastal ``nearCoast`` band.
+    """
+    return Geography(
+        [
+            CircleArea("portBrest", "nearPorts", 0.0, 0.0, 2.0),
+            CircleArea("portCamaret", "nearPorts", 20.0, 5.0, 1.5),
+            RectArea("anchorageBrest", "anchorage", 2.5, -2.0, 6.0, 2.0),
+            RectArea("fishingGulf", "fishing", 10.0, 8.0, 18.0, 14.0),
+            RectArea("naturaMolene", "natura", 9.0, 12.0, 14.0, 16.0),
+            RectArea("coastalBand", "nearCoast", -5.0, -6.0, 25.0, -2.5),
+        ]
+    )

@@ -1,0 +1,131 @@
+"""Reading and writing AIS data and recognition results.
+
+The paper's dataset is "real, publicly available" AIS data; a user adopting
+this library will want to run the pipeline on their own files. This module
+round-trips:
+
+* AIS position reports as CSV (``time,vessel,x,y,speed,course,heading`` —
+  the planar schema of :class:`~repro.maritime.ais.AISMessage`);
+* recognition results as JSON lines (one ground FVP per line with its
+  maximal intervals), a convenient exchange format for downstream
+  dashboards and for diffing detections between runs.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.intervals import IntervalList
+from repro.logic.parser import ParseError, parse_term
+from repro.logic.pretty import term_to_str
+from repro.maritime.ais import AISMessage
+from repro.rtec.result import RecognitionResult
+
+__all__ = [
+    "write_ais_csv",
+    "read_ais_csv",
+    "write_result_jsonl",
+    "read_result_jsonl",
+]
+
+_CSV_FIELDS = ("time", "vessel", "x", "y", "speed", "course", "heading")
+
+PathLike = Union[str, Path]
+
+
+def write_ais_csv(messages: Iterable[AISMessage], path: PathLike) -> int:
+    """Write AIS messages as CSV; returns the number of rows written."""
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_CSV_FIELDS)
+        for message in messages:
+            writer.writerow(
+                [
+                    message.time,
+                    message.vessel,
+                    message.x,
+                    message.y,
+                    message.speed,
+                    message.course,
+                    message.heading,
+                ]
+            )
+            count += 1
+    return count
+
+
+def read_ais_csv(path: PathLike) -> List[AISMessage]:
+    """Read AIS messages from CSV (schema of :func:`write_ais_csv`).
+
+    Raises ``ValueError`` with the offending line number on malformed rows
+    — imported data is validated, not silently coerced.
+    """
+    messages: List[AISMessage] = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(_CSV_FIELDS) - set(reader.fieldnames or ())
+        if missing:
+            raise ValueError(
+                "CSV is missing required columns: %s" % ", ".join(sorted(missing))
+            )
+        for row_number, row in enumerate(reader, start=2):
+            try:
+                messages.append(
+                    AISMessage(
+                        time=int(row["time"]),
+                        vessel=row["vessel"],
+                        x=float(row["x"]),
+                        y=float(row["y"]),
+                        speed=float(row["speed"]),
+                        course=float(row["course"]),
+                        heading=float(row["heading"]),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError("bad AIS row at line %d: %s" % (row_number, exc))
+    messages.sort()
+    return messages
+
+
+def write_result_jsonl(result: RecognitionResult, path: PathLike) -> int:
+    """Write a recognition result as JSON lines; returns the line count.
+
+    Each line is ``{"fvp": "<concrete syntax>", "intervals": [[s, e], ...]}``
+    with closed integer bounds.
+    """
+    count = 0
+    with open(path, "w") as handle:
+        for pair, intervals in sorted(result.items(), key=lambda kv: repr(kv[0])):
+            record = {
+                "fvp": term_to_str(pair),
+                "intervals": [list(bounds) for bounds in intervals.as_pairs()],
+            }
+            handle.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+def read_result_jsonl(path: PathLike) -> RecognitionResult:
+    """Read a recognition result written by :func:`write_result_jsonl`."""
+    result = RecognitionResult()
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                pair = parse_term(record["fvp"])
+                intervals = IntervalList(
+                    (int(start), int(end)) for start, end in record["intervals"]
+                )
+            except (KeyError, TypeError, ValueError, ParseError) as exc:
+                raise ValueError(
+                    "bad result record at line %d: %s" % (line_number, exc)
+                )
+            result.merge(pair, intervals)
+    return result

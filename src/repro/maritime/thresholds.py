@@ -1,0 +1,69 @@
+"""Threshold values of the maritime domain (prompt T of the paper).
+
+The values are in the ranges used by the maritime event description of
+Pitsikalis et al. (2019): speeds in knots, angles in degrees, durations in
+seconds. ``as_facts`` renders them as ``thresholds(Name, Value)`` background
+facts for the knowledge base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterator, Tuple
+
+__all__ = ["Thresholds", "DEFAULT_THRESHOLDS", "DETECTOR_SETTINGS", "DetectorSettings"]
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Domain thresholds referenced by the rules via ``thresholds/2``."""
+
+    #: Minimum speed (knots) at which a vessel counts as moving.
+    movingMin: float = 0.5
+    #: Maximum safe sailing speed (knots) in a coastal area.
+    hcNearCoastMax: float = 15.0
+    #: Trawling speed range (knots).
+    trawlspeedMin: float = 1.0
+    trawlspeedMax: float = 9.0
+    #: Tugging speed range (knots).
+    tuggingMin: float = 1.0
+    tuggingMax: float = 6.0
+    #: Minimum speed (knots) during a search-and-rescue sweep.
+    sarMinSpeed: float = 2.7
+    #: Minimum course/heading divergence (degrees) indicating drift.
+    adriftAngThr: float = 25.0
+
+    def as_facts(self) -> str:
+        """Render as ``thresholds(name, value).`` facts (RTEC syntax)."""
+        lines = []
+        for item in fields(self):
+            value = getattr(self, item.name)
+            rendered = repr(value) if isinstance(value, float) else str(value)
+            lines.append("thresholds(%s, %s)." % (item.name, rendered))
+        return "\n".join(lines) + "\n"
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        for item in fields(self):
+            yield item.name, getattr(self, item.name)
+
+
+@dataclass(frozen=True)
+class DetectorSettings:
+    """Settings of the critical-event detector (AIS preprocessing)."""
+
+    #: A gap starts when two consecutive messages are further apart (seconds).
+    gap_seconds: int = 1800
+    #: Speed (knots) below which a vessel counts as stopped.
+    stopped_max: float = 0.5
+    #: Speed band (knots) of "slow motion": [stopped_max, low_max).
+    low_max: float = 5.0
+    #: Speed delta (knots) between messages triggering change_in_speed.
+    speed_delta: float = 1.3
+    #: Heading delta (degrees) between messages triggering change_in_heading.
+    heading_delta: float = 15.0
+    #: Distance (nautical miles) under which two vessels are in proximity.
+    proximity_nm: float = 0.1
+
+
+DEFAULT_THRESHOLDS = Thresholds()
+DETECTOR_SETTINGS = DetectorSettings()

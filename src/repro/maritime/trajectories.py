@@ -1,0 +1,137 @@
+"""Synthetic vessel trajectory simulation.
+
+A trajectory is a sequence of :class:`Phase` objects executed from a start
+position: each phase fixes a speed, a course, and optional behaviours — a
+zig-zag pattern (periodic course changes, as in trawling or
+search-and-rescue sweeps), a heading offset relative to the course (a
+drifting vessel points one way, moves another), transmission silence (AIS
+gaps), and speed jitter. The simulator integrates positions at the phase's
+reporting period and emits :class:`~repro.maritime.ais.AISMessage` records.
+
+All randomness is drawn from a caller-provided :class:`random.Random`, so
+datasets are reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.maritime.ais import AISMessage, Vessel
+
+__all__ = ["Phase", "simulate_vessel", "leg_towards"]
+
+_KNOTS_TO_NM_PER_S = 1.0 / 3600.0
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One behavioural segment of a trajectory.
+
+    Parameters
+    ----------
+    duration:
+        Length of the phase in seconds.
+    speed:
+        Speed over ground in knots (0 for a stop).
+    course:
+        Course over ground in degrees (direction of motion).
+    period:
+        AIS reporting period in seconds.
+    zigzag_amplitude / zigzag_period:
+        When the amplitude is non-zero, the course alternates between
+        ``course - amplitude`` and ``course + amplitude`` every
+        ``zigzag_period`` seconds — the heading changes with it, producing
+        ``change_in_heading`` critical events (trawling/SAR movement).
+    heading_offset:
+        Constant offset of the true heading from the course (a drifting
+        vessel keeps its bow away from its actual motion).
+    transmit:
+        When ``False`` the vessel is silent during the phase (an AIS gap).
+    speed_jitter:
+        Uniform noise half-width (knots) added per message.
+    """
+
+    duration: int
+    speed: float
+    course: float
+    period: int = 10
+    zigzag_amplitude: float = 0.0
+    zigzag_period: int = 600
+    heading_offset: float = 0.0
+    transmit: bool = True
+    speed_jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("phase duration must be positive")
+        if self.period <= 0:
+            raise ValueError("reporting period must be positive")
+        if self.zigzag_period <= 0:
+            raise ValueError("zigzag period must be positive")
+
+
+def simulate_vessel(
+    vessel: Vessel,
+    phases: Sequence[Phase],
+    rng: random.Random,
+    start_time: int = 0,
+    start_x: float = 0.0,
+    start_y: float = 0.0,
+) -> List[AISMessage]:
+    """Integrate a trajectory and return its AIS messages, time-ordered."""
+    messages: List[AISMessage] = []
+    x, y = start_x, start_y
+    time = start_time
+    for phase in phases:
+        end_time = time + phase.duration
+        next_report = time
+        while time < end_time:
+            step = min(phase.period, end_time - time)
+            course = _phase_course(phase, time - start_time)
+            if time >= next_report and phase.transmit:
+                speed = max(0.0, phase.speed + rng.uniform(-phase.speed_jitter, phase.speed_jitter))
+                heading = (course + phase.heading_offset) % 360.0
+                messages.append(
+                    AISMessage(
+                        time=time,
+                        vessel=vessel.vessel_id,
+                        x=x,
+                        y=y,
+                        speed=round(speed, 2),
+                        course=round(course % 360.0, 1),
+                        heading=round(heading, 1),
+                    )
+                )
+                next_report = time + phase.period
+            distance = phase.speed * _KNOTS_TO_NM_PER_S * step
+            radians = math.radians(90.0 - course)  # nautical: 0 deg = north
+            x += distance * math.cos(radians)
+            y += distance * math.sin(radians)
+            time += step
+    return messages
+
+
+def _phase_course(phase: Phase, elapsed: int) -> float:
+    if phase.zigzag_amplitude == 0.0:
+        return phase.course
+    leg = (elapsed // phase.zigzag_period) % 2
+    sign = 1.0 if leg == 0 else -1.0
+    return phase.course + sign * phase.zigzag_amplitude
+
+
+def leg_towards(
+    x0: float, y0: float, x1: float, y1: float, speed: float, period: int = 10, **kwargs
+) -> Phase:
+    """A straight transit phase from (x0, y0) to (x1, y1) at ``speed`` knots."""
+    dx, dy = x1 - x0, y1 - y0
+    nm = math.hypot(dx, dy)
+    if nm == 0:
+        raise ValueError("zero-length leg")
+    if speed <= 0:
+        raise ValueError("transit speed must be positive")
+    course = (90.0 - math.degrees(math.atan2(dy, dx))) % 360.0
+    duration = max(period, int(round(nm / (speed * _KNOTS_TO_NM_PER_S))))
+    return Phase(duration=duration, speed=speed, course=course, period=period, **kwargs)

@@ -1,0 +1,236 @@
+"""The RTEC recognition engine: windowed, hierarchical, cached reasoning.
+
+The engine executes a validated event description over an input stream. At
+each query time ``q`` it considers the events in the sliding window
+``(q - omega, q]``, evaluates the fluent hierarchy bottom-up (simple fluents
+via initiation/termination pairing, statically determined fluents via
+interval manipulation), caches each FVP's maximal intervals in a per-window
+fluent store so that higher-level fluents reuse them, and amalgamates the
+window results into a :class:`~repro.rtec.result.RecognitionResult`.
+
+Events before ``q - omega`` are forgotten (Section 2: "the cost of
+reasoning depends on omega, instead of the size of the complete stream");
+inertia across window boundaries is preserved by carrying, for every simple
+FVP holding at the window start according to the previous windows, a
+synthetic initiation at the window-start time-point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.intervals import IntervalList
+from repro.logic.knowledge import KnowledgeBase
+from repro.logic.terms import Compound, Term
+from repro.rtec.description import EventDescription, Vocabulary, fluent_key
+from repro.rtec.errors import InvalidEventDescriptionError
+from repro.rtec.result import RecognitionResult
+from repro.rtec.simple import evaluate_simple_fluent
+from repro.rtec.static import evaluate_static_fluent
+from repro.rtec.store import FluentStore
+from repro.rtec.stream import EventStream, InputFluents
+
+__all__ = ["RTECEngine"]
+
+
+class RTECEngine:
+    """Run-time reasoner for one event description.
+
+    Parameters
+    ----------
+    description:
+        The event description to execute.
+    kb:
+        Atemporal background knowledge (``areaType/2``, ``thresholds/2``, ...).
+    vocabulary:
+        The input schema; when given, the description is validated against
+        it on construction and :class:`InvalidEventDescriptionError` is
+        raised if any issue is found (set ``strict=False`` to skip).
+    """
+
+    def __init__(
+        self,
+        description: EventDescription,
+        kb: Optional[KnowledgeBase] = None,
+        vocabulary: Optional[Vocabulary] = None,
+        strict: bool = True,
+        skip_errors: bool = False,
+    ) -> None:
+        self.description = description
+        self.kb = kb if kb is not None else KnowledgeBase()
+        self.vocabulary = vocabulary
+        self.skip_errors = skip_errors
+        #: Messages of rules skipped at run time (only in skip_errors mode).
+        self.runtime_warnings: List[str] = []
+        if strict:
+            issues = description.validate(vocabulary)
+            if issues:
+                raise InvalidEventDescriptionError(issues)
+        self._order = description.topological_order()
+
+    def recognise(
+        self,
+        stream: EventStream,
+        input_fluents: Optional[InputFluents] = None,
+        window: Optional[int] = None,
+        step: Optional[int] = None,
+    ) -> RecognitionResult:
+        """Detect all composite activities over ``stream``.
+
+        ``window`` is RTEC's omega; ``None`` means a single window covering
+        the whole stream. ``step`` is the query-time slide (defaults to
+        ``window``); a step larger than the window loses events, faithfully
+        to RTEC's forgetting mechanism.
+        """
+        result = RecognitionResult()
+        if input_fluents is None:
+            input_fluents = InputFluents()
+        if len(stream) == 0 and len(input_fluents) == 0:
+            return result
+        start = stream.min_time if stream.min_time is not None else 0
+        end = stream.max_time if stream.max_time is not None else start
+        for pair, intervals in input_fluents.items():
+            if intervals:
+                last = intervals.span[1]
+                if last > end:
+                    end = last
+        for pair, intervals in input_fluents.items():
+            if intervals:
+                first = intervals.span[0]
+                if first < start:
+                    start = first
+        if window is None:
+            window_start = start - 1
+            if self.description.initial_fvps:
+                window_start = min(window_start, -1)
+            self._process_window(
+                stream, input_fluents, window_start, end, result,
+                pending={}, include_initially=True,
+            )
+            return result
+        if window <= 0:
+            raise ValueError("window size must be positive")
+        if step is None:
+            step = window
+        if step <= 0:
+            raise ValueError("step must be positive")
+        #: Open initiations carried between windows: inertia survives the
+        #: forgetting of the events that produced it.
+        pending: Dict[Term, int] = {}
+        query_time = min(start - 1 + step, end)
+        previous_query: Optional[int] = None
+        first = True
+        while True:
+            window_start = query_time - window
+            if first and self.description.initial_fvps:
+                # initially/1 declarations are evaluated from the time
+                # origin: the first window is extended to cover it.
+                window_start = min(window_start, -1)
+            pending = self._process_window(
+                stream,
+                input_fluents,
+                window_start,
+                query_time,
+                result,
+                pending=pending,
+                # initially/1 declarations hold from the start of time; the
+                # first window injects them, and they then persist as
+                # pending open initiations like any other period.
+                include_initially=first,
+                # Results at or before the previous query time are final;
+                # an overlapping window must not revise them.
+                merge_from=previous_query,
+            )
+            first = False
+            previous_query = query_time
+            if query_time >= end:
+                break
+            # Clamp the final query time to the stream end so trailing open
+            # intervals do not overshoot the data.
+            query_time = min(query_time + step, end)
+        return result
+
+    def _process_window(
+        self,
+        stream: EventStream,
+        input_fluents: InputFluents,
+        window_start: int,
+        window_end: int,
+        result: RecognitionResult,
+        pending: Dict[Term, int],
+        include_initially: bool = False,
+        merge_from: Optional[int] = None,
+    ) -> Dict[Term, int]:
+        """Evaluate one window; returns the open initiations to carry forward.
+
+        ``pending`` maps ground simple FVPs whose period was open at the
+        previous query time to that period's initiation point. Carrying the
+        *original* initiation keeps ``maxDuration/2`` deadlines anchored
+        across window boundaries; closed periods are never carried, so a
+        forgotten termination cannot re-open them.
+
+        ``merge_from`` is the previous query time: the detections at points
+        up to and including it are final, so this window only contributes
+        points in ``(merge_from, window_end]`` to the amalgamated result.
+        """
+        store = FluentStore()
+        for pair, intervals in input_fluents.items():
+            clipped = intervals.restrict(window_start + 1, window_end)
+            if clipped:
+                store.set(pair, clipped)
+        on_error = self.runtime_warnings.append if self.skip_errors else None
+        next_pending: Dict[Term, int] = {}
+        for key in self._order:
+            if key in self.description.simple_fluents:
+                carried: Dict[Term, int] = {}
+                if include_initially:
+                    for pair in self.description.initial_fvps:
+                        assert isinstance(pair, Compound)
+                        if fluent_key(pair.args[0]) == key:
+                            # An initially-declared FVP holds from time-point
+                            # 0: an initiation at -1 under (Ts, Te] semantics.
+                            carried[pair] = -1
+                for pair, started in pending.items():
+                    assert isinstance(pair, Compound)
+                    if fluent_key(pair.args[0]) == key:
+                        carried[pair] = started
+                computed, opened = evaluate_simple_fluent(
+                    self.description.simple_fluents[key],
+                    stream,
+                    self.kb,
+                    store,
+                    window_start,
+                    window_end,
+                    carried,
+                    on_error=on_error,
+                    max_duration_for=self.description.max_duration_for
+                    if self.description.max_durations
+                    else None,
+                )
+                next_pending.update(opened)
+                # A carried initiation may reach back before this window;
+                # points before it were already reported by earlier windows.
+                # Clip so that every fluent in this window's store covers the
+                # same range — statically determined fluents would otherwise
+                # combine intervals of inconsistent temporal scopes.
+                computed = {
+                    pair: intervals.restrict(window_start + 1, window_end)
+                    for pair, intervals in computed.items()
+                }
+                computed = {
+                    pair: intervals for pair, intervals in computed.items() if intervals
+                }
+            else:
+                computed = evaluate_static_fluent(
+                    self.description.static_fluents[key],
+                    self.kb,
+                    store,
+                    on_error=on_error,
+                )
+            for pair, intervals in computed.items():
+                store.set(pair, intervals)
+        for pair, intervals in store.items():
+            if merge_from is not None:
+                intervals = intervals.restrict(merge_from + 1, window_end)
+            result.merge(pair, intervals)
+        return next_pending

@@ -1,0 +1,70 @@
+"""Exception types and validation issues for the RTEC engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = [
+    "RTECError",
+    "EvaluationError",
+    "CyclicDependencyError",
+    "ValidationIssue",
+    "InvalidEventDescriptionError",
+]
+
+
+class RTECError(Exception):
+    """Base class for all RTEC engine errors."""
+
+
+class EvaluationError(RTECError):
+    """Raised when a rule body cannot be evaluated (e.g. unbound arithmetic)."""
+
+
+class CyclicDependencyError(RTECError):
+    """Raised when the fluent dependency graph is not a hierarchy."""
+
+    def __init__(self, cycle: List[str]) -> None:
+        super().__init__("cyclic fluent dependency: %s" % " -> ".join(cycle))
+        self.cycle = cycle
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One structural problem found in an event description.
+
+    ``category`` is one of:
+
+    * ``"syntax"`` — the text failed to parse;
+    * ``"undefined-event"`` — a ``happensAt`` condition refers to an event
+      that is not in the input vocabulary;
+    * ``"undefined-fluent"`` — a ``holdsAt``/``holdsFor`` condition refers to
+      a fluent that is neither an input fluent nor defined by the event
+      description (the paper's third error category);
+    * ``"undefined-background"`` — an atemporal condition with no matching
+      background predicate;
+    * ``"malformed-rule"`` — a rule violating Definition 2.2 or 2.4 (e.g. an
+      ``initiatedAt`` rule whose first condition is not a positive
+      ``happensAt``, or an interval construct over unbound interval lists);
+    * ``"cycle"`` — the fluent dependency graph contains a cycle.
+    """
+
+    category: str
+    message: str
+    rule_index: Optional[int] = None
+
+    def __str__(self) -> str:
+        prefix = "rule %d: " % self.rule_index if self.rule_index is not None else ""
+        return "[%s] %s%s" % (self.category, prefix, self.message)
+
+
+class InvalidEventDescriptionError(RTECError):
+    """Raised when an event description with validation issues is executed."""
+
+    def __init__(self, issues: List[ValidationIssue]) -> None:
+        super().__init__(
+            "event description has %d validation issue(s):\n%s"
+            % (len(issues), "\n".join("  - %s" % issue for issue in issues))
+        )
+        self.issues = list(issues)

@@ -1,0 +1,169 @@
+"""Explanations: why an FVP does (or does not) hold at a time-point.
+
+Built on the reference evaluator (first-principles Event Calculus
+semantics), :func:`explain` produces a human-readable justification tree:
+for a simple fluent, the supporting initiation and the absence of breaking
+events (or the termination/deadline that ended the period); for a
+statically determined fluent, the pointwise truth of each condition of its
+rule. Useful when debugging an LLM-generated event description that fires
+(or stays silent) unexpectedly — the operational counterpart of the
+qualitative error assessment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.logic.parser import parse_term
+from repro.logic.pretty import term_to_str
+from repro.logic.terms import Compound, Term, is_fvp, is_ground
+from repro.logic.unification import unify
+from repro.rtec.description import fluent_key
+from repro.rtec.reference import ReferenceEvaluator
+
+__all__ = ["Explanation", "explain", "format_explanation"]
+
+
+@dataclass
+class Explanation:
+    """One node of a justification tree."""
+
+    statement: str
+    holds: bool
+    children: List["Explanation"] = field(default_factory=list)
+
+
+def explain(
+    evaluator: ReferenceEvaluator, pair: "Term | str", time: int
+) -> Explanation:
+    """Explain ``holdsAt(pair, time)`` under ``evaluator``'s description."""
+    if isinstance(pair, str):
+        pair = parse_term(pair)
+    if not (is_fvp(pair) and is_ground(pair)):
+        raise ValueError("explain expects a ground FVP, got %r" % (pair,))
+    assert isinstance(pair, Compound)
+    key = fluent_key(pair.args[0])
+    description = evaluator.description
+    if key in description.simple_fluents:
+        return _explain_simple(evaluator, pair, time)
+    if key in description.static_fluents:
+        return _explain_static(evaluator, pair, time)
+    return Explanation(
+        "%s is not defined by the event description" % term_to_str(pair), False
+    )
+
+
+def _explain_simple(
+    evaluator: ReferenceEvaluator, pair: Compound, time: int
+) -> Explanation:
+    holds = evaluator.holds_at(pair, time)
+    label = "holdsAt(%s, %d) = %s" % (term_to_str(pair), time, holds)
+    node = Explanation(label, holds)
+    initiations = sorted(evaluator._firing_points("initiatedAt", pair))
+    if pair in evaluator.description.initial_fvps:
+        initiations = [-1] + initiations
+    max_duration = evaluator.description.max_duration_for(pair)
+    if not initiations:
+        node.children.append(
+            Explanation("no initiation of %s ever fires" % term_to_str(pair), False)
+        )
+        return node
+    supporting: Optional[int] = None
+    for ts in reversed(initiations):
+        if ts >= time:
+            continue
+        broken_at = next(
+            (
+                u
+                for u in range(max(ts, 0), time)
+                if evaluator._broken(pair, u, ts)
+            ),
+            None,
+        )
+        if broken_at is not None:
+            node.children.append(
+                Explanation(
+                    "period initiated at %d was broken at %d (termination or "
+                    "initiation of a sibling value)" % (ts, broken_at),
+                    False,
+                )
+            )
+            continue
+        if max_duration is not None and evaluator.holds_at(pair, ts):
+            continue  # absorbed re-initiation; keep looking earlier
+        if max_duration is not None and time > ts + max_duration:
+            node.children.append(
+                Explanation(
+                    "period initiated at %d expired at its maxDuration "
+                    "deadline %d" % (ts, ts + max_duration),
+                    False,
+                )
+            )
+            continue
+        supporting = ts
+        break
+    if supporting is not None:
+        source = "initially declaration" if supporting < 0 else "initiation at %d" % supporting
+        detail = "supported by %s with no break in [%d, %d)" % (
+            source,
+            max(supporting, 0),
+            time,
+        )
+        if max_duration is not None:
+            detail += "; deadline %d not yet reached" % (supporting + max_duration)
+        node.children.append(Explanation(detail, True))
+    elif not node.children:
+        later = [ts for ts in initiations if ts >= time]
+        if later:
+            node.children.append(
+                Explanation(
+                    "the first initiation fires at %d, not before %d"
+                    % (later[0], time),
+                    False,
+                )
+            )
+    return node
+
+
+def _explain_static(
+    evaluator: ReferenceEvaluator, pair: Compound, time: int
+) -> Explanation:
+    holds = evaluator.holds_at(pair, time)
+    label = "holdsAt(%s, %d) = %s" % (term_to_str(pair), time, holds)
+    node = Explanation(label, holds)
+    key = fluent_key(pair.args[0])
+    for rule in evaluator.description.static_fluents[key].rules:
+        head_pair = rule.head.args[0]  # type: ignore[union-attr]
+        subst = unify(head_pair, pair)
+        if subst is None:
+            continue
+        for literal in rule.body:
+            term = literal.term
+            if not (
+                isinstance(term, Compound)
+                and term.functor == "holdsFor"
+                and term.arity == 2
+            ):
+                continue
+            condition_pair = subst.resolve(term.args[0])
+            if not is_ground(condition_pair):
+                node.children.append(
+                    Explanation(
+                        "condition %s has unresolved bindings at this level"
+                        % term_to_str(condition_pair),
+                        False,
+                    )
+                )
+                continue
+            node.children.append(explain(evaluator, condition_pair, time))
+    return node
+
+
+def format_explanation(node: Explanation, indent: int = 0) -> str:
+    """Render a justification tree with one line per node."""
+    marker = "+" if node.holds else "-"
+    lines = ["%s%s %s" % ("  " * indent, marker, node.statement)]
+    for child in node.children:
+        lines.append(format_explanation(child, indent + 1))
+    return "\n".join(lines)

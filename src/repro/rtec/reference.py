@@ -1,0 +1,379 @@
+"""A naive reference evaluator: the testing oracle for RTEC semantics.
+
+This module evaluates ``holdsAt(F=V, T)`` point by point, directly from the
+Event Calculus definition (an FVP holds at ``T`` iff it was initiated at
+some ``Ts < T`` and not "broken" at any ``T''`` with ``Ts <= T'' < T``),
+with memoisation but *no* maximal intervals, no pairing, no windows and no
+caching — none of the machinery the engine optimises with. Statically
+determined fluents are evaluated as pointwise boolean combinations
+(``union_all`` = or, ``intersect_all`` = and, ``relative_complement_all`` =
+and-not) over rule bodies grounded exhaustively against the fluent
+instances that exist.
+
+It is orders of magnitude slower than :class:`~repro.rtec.engine.RTECEngine`
+and exists purely so the test suite can check, on randomly generated
+streams, that the optimised engine computes exactly the semantics this
+transparent implementation defines.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.logic.knowledge import KnowledgeBase
+from repro.logic.parser import LIST_FUNCTOR, Literal, Rule
+from repro.logic.terms import Compound, Constant, Term, Variable, is_fvp, is_ground
+from repro.logic.unification import Substitution, unify
+from repro.rtec.builtins import evaluate_comparison, is_comparison
+from repro.rtec.description import INTERVAL_CONSTRUCTS, EventDescription, fluent_key
+from repro.rtec.stream import EventStream
+
+__all__ = ["ReferenceEvaluator"]
+
+
+class ReferenceEvaluator:
+    """Pointwise Event Calculus evaluation over a whole stream."""
+
+    def __init__(
+        self,
+        description: EventDescription,
+        kb: Optional[KnowledgeBase] = None,
+        stream: Optional[EventStream] = None,
+    ) -> None:
+        self.description = description
+        self.kb = kb if kb is not None else KnowledgeBase()
+        self.stream = stream if stream is not None else EventStream()
+        self._holds_cache: Dict[Tuple[Term, int], bool] = {}
+        self._firing_cache: Dict[Tuple[str, Term], Set[int]] = {}
+        self._instances_cache: Optional[Dict[Tuple[str, int], Set[Term]]] = None
+
+    # -- the oracle's public face ------------------------------------------
+
+    def holds_at(self, pair: Term, time: int) -> bool:
+        """Direct Event Calculus evaluation of ``holdsAt(pair, time)``."""
+        if not (is_fvp(pair) and is_ground(pair)):
+            raise ValueError("holds_at expects a ground FVP, got %r" % (pair,))
+        key = (pair, time)
+        if key not in self._holds_cache:
+            self._holds_cache[key] = False  # cycle guard; hierarchy is acyclic
+            self._holds_cache[key] = self._compute_holds(pair, time)
+        return self._holds_cache[key]
+
+    def holding_points(self, pair: Term, start: int, end: int) -> Set[int]:
+        """All points in [start, end] at which the FVP holds."""
+        return {t for t in range(start, end + 1) if self.holds_at(pair, t)}
+
+    def ground_instances(self, name: str, arity: int) -> Set[Term]:
+        """Candidate ground FVPs of a fluent schema (see _collect_instances)."""
+        if self._instances_cache is None:
+            self._instances_cache = self._collect_instances()
+        return self._instances_cache.get((name, arity), set())
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _compute_holds(self, pair: Term, time: int) -> bool:
+        assert isinstance(pair, Compound)
+        key = fluent_key(pair.args[0])
+        if key in self.description.simple_fluents:
+            return self._holds_simple(pair, time)
+        if key in self.description.static_fluents:
+            return self._holds_static(pair, time)
+        return False  # input fluents are not used by the oracle tests
+
+    # -- simple fluents: inertia from first principles --------------------
+
+    def _holds_simple(self, pair: Term, time: int) -> bool:
+        initiations = self._firing_points("initiatedAt", pair)
+        if self.description.initial_fvps and pair in self.description.initial_fvps:
+            initiations = initiations | {-1}
+        max_duration = self.description.max_duration_for(pair)
+        for ts in sorted(initiations, reverse=True):
+            if ts >= time:
+                continue
+            # A break at ts itself cancels the initiation; the range below
+            # covers it since u starts at ts.
+            if any(self._broken(pair, u, ts) for u in range(max(ts, 0), time)):
+                continue
+            if max_duration is not None:
+                if self.holds_at(pair, ts):
+                    # An initiation while the FVP already holds is absorbed
+                    # by the ongoing period: it does not reset the deadline.
+                    continue
+                if time > ts + max_duration:
+                    continue
+            return True
+        return False
+
+    def _broken(self, pair: Term, time: int, since: int) -> bool:
+        """F=V is broken at ``time``: terminated, or another value initiated."""
+        if time in self._firing_points("terminatedAt", pair):
+            return True
+        assert isinstance(pair, Compound)
+        fluent, value = pair.args
+        for other in self._sibling_values(pair):
+            if other == pair:
+                continue
+            if time in self._firing_points("initiatedAt", other):
+                return True
+        del since
+        return False
+
+    def _sibling_values(self, pair: Term) -> Set[Term]:
+        assert isinstance(pair, Compound)
+        fluent = pair.args[0]
+        key = fluent_key(fluent)
+        siblings: Set[Term] = set()
+        for candidate in self.ground_instances(*key):
+            assert isinstance(candidate, Compound)
+            if candidate.args[0] == fluent:
+                siblings.add(candidate)
+        siblings.add(pair)
+        return siblings
+
+    def _firing_points(self, head_functor: str, pair: Term) -> Set[int]:
+        cache_key = (head_functor, pair)
+        if cache_key in self._firing_cache:
+            return self._firing_cache[cache_key]
+        points: Set[int] = set()
+        self._firing_cache[cache_key] = points  # pre-bind for recursion
+        key = fluent_key(pair.args[0])  # type: ignore[union-attr]
+        definition = self.description.simple_fluents.get(key)
+        if definition is None:
+            return points
+        rules = (
+            definition.initiated_rules
+            if head_functor == "initiatedAt"
+            else definition.terminated_rules
+        )
+        for rule in rules:
+            head_pair = rule.head.args[0]  # type: ignore[union-attr]
+            subst = unify(head_pair, pair)
+            if subst is None:
+                continue
+            points.update(self._rule_firings(rule, subst))
+        return points
+
+    def _rule_firings(self, rule: Rule, subst: Substitution) -> Set[int]:
+        first = rule.body[0]
+        event_pattern, time_var = first.term.args  # type: ignore[union-attr]
+        resolved = subst.resolve(event_pattern)
+        functor = resolved.functor if isinstance(resolved, Compound) else str(resolved)
+        arity = resolved.arity if isinstance(resolved, Compound) else 0
+        out: Set[int] = set()
+        for event in self.stream.events_in_window(functor, arity, -1, 10**9):
+            extended = unify(event_pattern, event.term, subst)
+            if extended is None:
+                continue
+            extended = unify(time_var, Constant(event.time), extended)
+            if extended is None:
+                continue
+            if self._body_satisfied(rule.body[1:], extended, event.time):
+                out.add(event.time)
+        return out
+
+    def _body_satisfied(
+        self, literals: Tuple[Literal, ...], subst: Substitution, time: int
+    ) -> bool:
+        return any(True for _ in self._satisfy(literals, subst, time))
+
+    def _satisfy(
+        self, literals: Tuple[Literal, ...], subst: Substitution, time: int
+    ) -> Iterator[Substitution]:
+        if not literals:
+            yield subst
+            return
+        literal, rest = literals[0], literals[1:]
+        for extended in self._satisfy_one(literal, subst, time):
+            yield from self._satisfy(rest, extended, time)
+
+    def _satisfy_one(
+        self, literal: Literal, subst: Substitution, time: int
+    ) -> Iterator[Substitution]:
+        term = literal.term
+        if isinstance(term, Compound) and term.functor == "happensAt" and term.arity == 2:
+            pattern, time_term = term.args
+            resolved_time = subst.resolve(time_term)
+            matches: List[Substitution] = []
+            resolved = subst.resolve(pattern)
+            functor = resolved.functor if isinstance(resolved, Compound) else str(resolved)
+            arity = resolved.arity if isinstance(resolved, Compound) else 0
+            for event in self.stream.events_in_window(functor, arity, -1, 10**9):
+                extended = unify(pattern, event.term, subst)
+                if extended is None:
+                    continue
+                extended = unify(time_term, Constant(event.time), extended)
+                if extended is not None:
+                    matches.append(extended)
+            del resolved_time
+            if literal.negated:
+                if not matches:
+                    yield subst
+            else:
+                yield from matches
+            return
+        if isinstance(term, Compound) and term.functor == "holdsAt" and term.arity == 2:
+            pair_pattern = subst.resolve(term.args[0])
+            time_term = subst.resolve(term.args[1])
+            at = int(time_term.value)  # type: ignore[union-attr]
+            if is_ground(pair_pattern):
+                holds = self.holds_at(pair_pattern, at)
+                if literal.negated:
+                    if not holds:
+                        yield subst
+                elif holds:
+                    yield subst
+                return
+            assert isinstance(pair_pattern, Compound)
+            key = fluent_key(pair_pattern.args[0])
+            matches = []
+            for candidate in self.ground_instances(*key):
+                extended = unify(pair_pattern, candidate, subst)
+                if extended is not None and self.holds_at(candidate, at):
+                    matches.append(extended)
+            if literal.negated:
+                if not matches:
+                    yield subst
+            else:
+                yield from matches
+            return
+        if is_comparison(term):
+            satisfied = evaluate_comparison(term, subst)
+            if satisfied != literal.negated:
+                yield subst
+            return
+        # Atemporal background predicate.
+        if literal.negated:
+            if not self.kb.holds(term, subst):
+                yield subst
+        else:
+            yield from self.kb.query(term, subst)
+
+    # -- statically determined fluents: pointwise boolean combination ------
+
+    def _holds_static(self, pair: Term, time: int) -> bool:
+        key = fluent_key(pair.args[0])  # type: ignore[union-attr]
+        for rule in self.description.static_fluents[key].rules:
+            head_pair = rule.head.args[0]  # type: ignore[union-attr]
+            subst = unify(head_pair, pair)
+            if subst is None:
+                continue
+            if self._static_rule_holds(rule, subst, time):
+                return True
+        return False
+
+    def _static_rule_holds(self, rule: Rule, subst: Substitution, time: int) -> bool:
+        head_interval = rule.head.args[1]  # type: ignore[union-attr]
+        for final_subst, env in self._static_bindings(rule.body, subst, time, {}):
+            value = env.get(head_interval)
+            if value:
+                return True
+        return False
+
+    def _static_bindings(
+        self,
+        literals: Tuple[Literal, ...],
+        subst: Substitution,
+        time: int,
+        env: Dict[Variable, bool],
+    ) -> Iterator[Tuple[Substitution, Dict[Variable, bool]]]:
+        if not literals:
+            yield subst, env
+            return
+        literal, rest = literals[0], literals[1:]
+        term = literal.term
+        if isinstance(term, Compound) and term.functor == "holdsFor" and term.arity == 2:
+            pair_pattern = subst.resolve(term.args[0])
+            out_var = term.args[1]
+            assert isinstance(out_var, Variable)
+            if is_ground(pair_pattern):
+                new_env = dict(env)
+                new_env[out_var] = self.holds_at(pair_pattern, time)
+                yield from self._static_bindings(rest, subst, time, new_env)
+                return
+            assert isinstance(pair_pattern, Compound)
+            key = fluent_key(pair_pattern.args[0])
+            for candidate in self.ground_instances(*key):
+                extended = unify(pair_pattern, candidate, subst)
+                if extended is None:
+                    continue
+                new_env = dict(env)
+                new_env[out_var] = self.holds_at(candidate, time)
+                yield from self._static_bindings(rest, extended, time, new_env)
+            return
+        if isinstance(term, Compound) and term.functor in INTERVAL_CONSTRUCTS:
+            out_var = term.args[-1]
+            assert isinstance(out_var, Variable)
+            if term.functor == "union_all":
+                value = any(self._env_list(term.args[0], env))
+            elif term.functor == "intersect_all":
+                value = all(self._env_list(term.args[0], env))
+            else:  # relative_complement_all(I', L, I)
+                base_var = term.args[0]
+                assert isinstance(base_var, Variable)
+                value = env[base_var] and not any(self._env_list(term.args[1], env))
+            new_env = dict(env)
+            new_env[out_var] = value
+            yield from self._static_bindings(rest, subst, time, new_env)
+            return
+        # Atemporal background predicate.
+        for extended in self.kb.query(term, subst):
+            yield from self._static_bindings(rest, extended, time, env)
+
+    @staticmethod
+    def _env_list(term: Term, env: Dict[Variable, bool]) -> List[bool]:
+        assert isinstance(term, Compound) and term.functor == LIST_FUNCTOR
+        values = []
+        for arg in term.args:
+            assert isinstance(arg, Variable)
+            values.append(env[arg])
+        return values
+
+    # -- grounding: candidate instances ------------------------------------
+
+    def _collect_instances(self) -> Dict[Tuple[str, int], Set[Term]]:
+        """Candidate ground FVPs per fluent schema.
+
+        Entities are the constants appearing in event arguments; fluent
+        argument tuples are the entity product, and values come from the
+        rule heads (ground head values). Exhaustive by construction — the
+        oracle does not rely on the engine's seeding heuristics.
+        """
+        entities: Set[Term] = set()
+        for event in self.stream:
+            if isinstance(event.term, Compound):
+                for arg in event.term.args:
+                    if isinstance(arg, Constant) and isinstance(arg.value, str):
+                        entities.add(arg)
+        instances: Dict[Tuple[str, int], Set[Term]] = {}
+        all_keys = set(self.description.simple_fluents) | set(
+            self.description.static_fluents
+        )
+        for key in all_keys:
+            name, arity = key
+            values = self._head_values(key)
+            bucket: Set[Term] = set()
+            for combo in product(sorted(entities, key=repr), repeat=arity):
+                fluent = Compound(name, tuple(combo)) if arity else Constant(name)
+                for value in values:
+                    bucket.add(Compound("=", (fluent, value)))
+            instances[key] = bucket
+        return instances
+
+    def _head_values(self, key: Tuple[str, int]) -> Set[Term]:
+        values: Set[Term] = set()
+        definition = self.description.simple_fluents.get(key)
+        if definition is not None:
+            for value in definition.values:
+                if is_ground(value):
+                    values.add(value)
+        static = self.description.static_fluents.get(key)
+        if static is not None:
+            for rule in static.rules:
+                pair = rule.head.args[0]  # type: ignore[union-attr]
+                assert isinstance(pair, Compound)
+                if is_ground(pair.args[1]):
+                    values.add(pair.args[1])
+        if not values:
+            values.add(Constant("true"))
+        return values

@@ -1,0 +1,75 @@
+"""Recognition results: the output of an RTEC run.
+
+A :class:`RecognitionResult` maps every ground fluent-value pair computed
+during recognition to its amalgamated maximal intervals, and offers the
+query predicates of the RTEC language (``holdsFor``, ``holdsAt``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.intervals import IntervalList, union_all
+from repro.logic.parser import parse_term
+from repro.logic.terms import Compound, Term, is_fvp
+from repro.rtec.description import FluentKey, fluent_key
+
+__all__ = ["RecognitionResult"]
+
+
+class RecognitionResult:
+    """Ground FVP -> maximal intervals, amalgamated over all windows."""
+
+    def __init__(self, intervals: Optional[Dict[Term, IntervalList]] = None) -> None:
+        self._intervals: Dict[Term, IntervalList] = dict(intervals or {})
+
+    def merge(self, pair: Term, intervals: IntervalList) -> None:
+        """Union new window results into the amalgamated intervals of ``pair``."""
+        if not intervals:
+            return
+        existing = self._intervals.get(pair)
+        if existing is None:
+            self._intervals[pair] = intervals
+        else:
+            self._intervals[pair] = union_all([existing, intervals])
+
+    # -- queries -------------------------------------------------------------
+
+    def holds_for(self, pair: "Term | str") -> IntervalList:
+        """Maximal intervals of a ground FVP; accepts concrete syntax strings."""
+        return self._intervals.get(self._coerce(pair), IntervalList.empty())
+
+    def holds_at(self, pair: "Term | str", time: int) -> bool:
+        return self.holds_for(pair).holds_at(time)
+
+    def instances(self, fluent_name: str, arity: Optional[int] = None) -> Iterator[Tuple[Term, IntervalList]]:
+        """All ground FVPs of a fluent schema, e.g. every vessel's ``trawling``."""
+        for pair, intervals in sorted(self._intervals.items(), key=lambda kv: repr(kv[0])):
+            assert isinstance(pair, Compound)
+            key = fluent_key(pair.args[0])
+            if key[0] == fluent_name and (arity is None or key[1] == arity):
+                yield pair, intervals
+
+    def activity_duration(self, fluent_name: str) -> int:
+        """Total recognised time-points summed over all instances of a schema."""
+        return sum(iv.total_duration for _, iv in self.instances(fluent_name))
+
+    def fvps(self) -> List[Term]:
+        return sorted(self._intervals, key=repr)
+
+    def items(self) -> Iterator[Tuple[Term, IntervalList]]:
+        return iter(self._intervals.items())
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __contains__(self, pair: "Term | str") -> bool:
+        return self._coerce(pair) in self._intervals
+
+    @staticmethod
+    def _coerce(pair: "Term | str") -> Term:
+        if isinstance(pair, str):
+            pair = parse_term(pair)
+        if not is_fvp(pair):
+            raise ValueError("expected an FVP (F=V), got %r" % (pair,))
+        return pair

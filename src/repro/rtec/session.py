@@ -1,0 +1,137 @@
+"""Online (run-time) recognition sessions.
+
+RTEC is a *run-time* reasoner: events arrive continuously and recognition
+is performed at successive query times over a sliding window, with older
+events forgotten. :class:`RTECSession` exposes that operational mode
+incrementally — submit events as they arrive, advance the query time, and
+read the amalgamated detections at any moment — whereas
+:meth:`~repro.rtec.engine.RTECEngine.recognise` replays a whole stream in
+one call.
+
+A session and a batch run over the same stream with the same query times
+produce identical results (a property checked by the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.intervals import IntervalList, union_all
+from repro.logic.terms import Term
+from repro.rtec.engine import RTECEngine
+from repro.rtec.result import RecognitionResult
+from repro.rtec.stream import Event, EventStream, InputFluents
+
+__all__ = ["RTECSession"]
+
+
+class RTECSession:
+    """Incremental recognition over a sliding window.
+
+    Parameters
+    ----------
+    engine:
+        The configured reasoner (event description, knowledge base).
+    window:
+        RTEC's omega: at each query time ``q``, events in ``(q - omega, q]``
+        are considered and everything older is forgotten — events received
+        with a timestamp at or before ``q - omega`` are silently dropped.
+    """
+
+    def __init__(self, engine: RTECEngine, window: int) -> None:
+        if window <= 0:
+            raise ValueError("window size must be positive")
+        self.engine = engine
+        self.window = window
+        self._buffer: List[Event] = []
+        self._fluent_intervals: Dict[Term, List[IntervalList]] = {}
+        self._pending: Dict[Term, int] = {}
+        self._result = RecognitionResult()
+        self._last_query: Optional[int] = None
+        self._first_advance = True
+
+    # -- input ----------------------------------------------------------------
+
+    def submit(self, events: Iterable[Event]) -> int:
+        """Buffer newly arrived events; returns how many were accepted.
+
+        Events older than the current window lower bound are already
+        forgotten and are dropped.
+        """
+        accepted = 0
+        lower = None if self._last_query is None else self._last_query - self.window
+        for event in events:
+            if lower is not None and event.time <= lower:
+                continue
+            self._buffer.append(event)
+            accepted += 1
+        return accepted
+
+    def submit_fluent(self, pair: Term, intervals: IntervalList) -> None:
+        """Deliver (additional) maximal intervals of an input fluent."""
+        self._fluent_intervals.setdefault(pair, []).append(intervals)
+
+    # -- reasoning --------------------------------------------------------------
+
+    def advance(self, query_time: int) -> RecognitionResult:
+        """Run recognition at ``query_time`` and return the amalgamated result.
+
+        Query times must be non-decreasing. Events at or before
+        ``query_time - window`` are forgotten afterwards, bounding the
+        buffer (Section 2: reasoning cost depends on omega, not on the
+        stream size).
+        """
+        if self._last_query is not None and query_time < self._last_query:
+            raise ValueError(
+                "query times must be non-decreasing (%d < %d)"
+                % (query_time, self._last_query)
+            )
+        window_start = query_time - self.window
+        stream = EventStream(
+            event for event in self._buffer if window_start < event.time <= query_time
+        )
+        input_fluents = InputFluents()
+        for pair, interval_lists in self._fluent_intervals.items():
+            merged = union_all(interval_lists)
+            if merged:
+                input_fluents.set(pair, merged)
+        if self._first_advance and self.engine.description.initial_fvps:
+            # initially/1 declarations are evaluated from the time origin.
+            window_start = min(window_start, -1)
+        self._pending = self.engine._process_window(
+            stream,
+            input_fluents,
+            window_start,
+            query_time,
+            self._result,
+            pending=self._pending,
+            include_initially=self._first_advance,
+            merge_from=self._last_query,
+        )
+        self._first_advance = False
+        self._last_query = query_time
+        # Forget: drop events that no future window can reach.
+        self._buffer = [event for event in self._buffer if event.time > window_start]
+        return self._result
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def result(self) -> RecognitionResult:
+        """The detections amalgamated so far."""
+        return self._result
+
+    @property
+    def buffered_events(self) -> int:
+        """Number of events currently retained (bounded by the window)."""
+        return len(self._buffer)
+
+    @property
+    def last_query_time(self) -> Optional[int]:
+        return self._last_query
+
+    def holds_for(self, pair: "Term | str") -> IntervalList:
+        return self._result.holds_for(pair)
+
+    def holds_at(self, pair: "Term | str", time: int) -> bool:
+        return self._result.holds_at(pair, time)

@@ -1,0 +1,315 @@
+"""Evaluation of simple fluents (Definition 2.2).
+
+For every simple fluent schema the engine:
+
+1. evaluates each ``initiatedAt``/``terminatedAt`` rule over the events of
+   the current window, producing *initiation* and *termination* points per
+   ground FVP;
+2. adds, for multi-valued fluents, the initiations of ``F = V'`` to the
+   terminations of ``F = V`` for every ``V' != V`` (RTEC value exclusivity:
+   a fluent has at most one value at a time);
+3. pairs initiations with terminations into maximal intervals
+   (:func:`repro.intervals.make_intervals_from_points`).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.intervals import IntervalList
+from repro.intervals.pairing import pair_intervals
+from repro.logic.knowledge import KnowledgeBase
+from repro.logic.parser import Literal, Rule
+from repro.logic.terms import (
+    Compound,
+    Constant,
+    Term,
+    Variable,
+    is_fvp,
+    is_ground,
+)
+from repro.logic.unification import Substitution, unify
+from repro.rtec.builtins import evaluate_comparison, is_comparison
+from repro.rtec.description import SimpleFluentDef, head_fvp
+from repro.rtec.errors import EvaluationError
+from repro.rtec.store import FluentStore
+from repro.rtec.stream import EventStream
+
+__all__ = ["evaluate_simple_fluent", "rule_firing_points"]
+
+
+def evaluate_simple_fluent(
+    definition: SimpleFluentDef,
+    stream: EventStream,
+    kb: KnowledgeBase,
+    store: FluentStore,
+    window_start: int,
+    window_end: int,
+    carried_initiations: Dict[Term, int],
+    on_error=None,
+    max_duration_for=None,
+) -> Tuple[Dict[Term, IntervalList], Dict[Term, int]]:
+    """Compute the maximal intervals of every ground FVP of one simple fluent.
+
+    Returns ``(intervals per FVP, open initiations per FVP)``. The second
+    mapping holds, for every FVP whose last period is still open at the
+    window end, the initiation point of that period — the engine carries it
+    into the next window, implementing inertia after older events have been
+    forgotten (``carried_initiations`` is exactly the previous window's
+    mapping). ``on_error``, when given, receives the message of any
+    :class:`EvaluationError` instead of the error propagating — the rule
+    that failed is skipped (tolerant execution of imperfect generated
+    rules).
+    """
+    initiations: Dict[Term, Set[int]] = defaultdict(set)
+    terminations: Dict[Term, Set[int]] = defaultdict(set)
+
+    for rule in definition.initiated_rules:
+        try:
+            for pair, time in rule_firing_points(
+                rule, stream, kb, store, window_start, window_end, require_ground=True
+            ):
+                initiations[pair].add(time)
+        except EvaluationError as exc:
+            if on_error is None:
+                raise
+            on_error("skipped rule %r: %s" % (rule.head, exc))
+
+    for pair, start_time in carried_initiations.items():
+        initiations[pair].add(start_time)
+
+    # A termination whose head still has unbound variables (e.g. the
+    # AreaType of "terminatedAt(withinArea(Vl, AreaType)=true, T) :-
+    # happensAt(gap_start(Vl), T)") terminates every matching instance.
+    pending: List[Tuple[Term, int]] = []
+    for rule in definition.terminated_rules:
+        try:
+            for pair, time in rule_firing_points(
+                rule, stream, kb, store, window_start, window_end, require_ground=False
+            ):
+                pending.append((pair, time))
+        except EvaluationError as exc:
+            if on_error is None:
+                raise
+            on_error("skipped rule %r: %s" % (rule.head, exc))
+    for pattern, time in pending:
+        if is_ground(pattern):
+            terminations[pattern].add(time)
+            continue
+        for pair in initiations:
+            if unify(pattern, pair) is not None:
+                terminations[pair].add(time)
+
+    # Value exclusivity: initiating F=V' terminates F=V for V' != V.
+    by_fluent: Dict[Term, List[Term]] = defaultdict(list)
+    for pair in initiations:
+        assert isinstance(pair, Compound)
+        by_fluent[pair.args[0]].append(pair)
+    for fluent, pairs in by_fluent.items():
+        if len(pairs) < 2:
+            continue
+        for pair in pairs:
+            for other in pairs:
+                if other != pair:
+                    terminations[pair].update(initiations[other])
+
+    result: Dict[Term, IntervalList] = {}
+    open_initiations: Dict[Term, int] = {}
+    for pair in set(initiations) | set(terminations):
+        deadline = max_duration_for(pair) if max_duration_for is not None else None
+        intervals, open_start = pair_intervals(
+            initiations.get(pair, ()),
+            terminations.get(pair, ()),
+            open_end=window_end,
+            max_duration=deadline,
+        )
+        if intervals:
+            result[pair] = intervals
+        if open_start is not None:
+            open_initiations[pair] = open_start
+    return result, open_initiations
+
+
+def rule_firing_points(
+    rule: Rule,
+    stream: EventStream,
+    kb: KnowledgeBase,
+    store: FluentStore,
+    window_start: int,
+    window_end: int,
+    require_ground: bool = True,
+) -> Iterator[Tuple[Term, int]]:
+    """Yield ``(head FVP, time)`` for every satisfied body instance.
+
+    Per Definition 2.2 the first condition is a positive ``happensAt``; each
+    of its event occurrences seeds a substitution which the remaining
+    conditions filter and extend. With ``require_ground=False`` the head FVP
+    may retain unbound variables (universal terminations); initiations must
+    always be ground.
+    """
+    if not rule.body:
+        return
+    first = rule.body[0]
+    if first.negated or not _is_happens_at(first.term):
+        raise EvaluationError(
+            "first condition of %r must be a positive happensAt" % (rule.head,)
+        )
+    head_pair, time_var = _destructure_head(rule)
+    event_pattern, time_pattern = first.term.args  # type: ignore[union-attr]
+    functor_key = _pattern_key(event_pattern)
+
+    for event in stream.events_in_window(functor_key[0], functor_key[1], window_start, window_end):
+        subst = unify(event_pattern, event.term)
+        if subst is None:
+            continue
+        subst = unify(time_pattern, Constant(event.time), subst)
+        if subst is None:
+            continue
+        for final in _satisfy(rule.body[1:], subst, stream, kb, store, window_start, window_end):
+            pair = final.resolve(head_pair)
+            if require_ground and not is_ground(pair):
+                raise EvaluationError(
+                    "head FVP %r not ground after body evaluation of %r"
+                    % (pair, rule.head)
+                )
+            time_term = final.resolve(time_var)
+            if not isinstance(time_term, Constant) or not time_term.is_number:
+                raise EvaluationError("head time-point is not bound in %r" % (rule.head,))
+            yield pair, int(time_term.value)
+
+
+def _satisfy(
+    literals: Tuple[Literal, ...],
+    subst: Substitution,
+    stream: EventStream,
+    kb: KnowledgeBase,
+    store: FluentStore,
+    window_start: int,
+    window_end: int,
+) -> Iterator[Substitution]:
+    """Depth-first evaluation of the remaining body conditions."""
+    if not literals:
+        yield subst
+        return
+    literal, rest = literals[0], literals[1:]
+    for extended in _satisfy_one(literal, subst, stream, kb, store, window_start, window_end):
+        yield from _satisfy(rest, extended, stream, kb, store, window_start, window_end)
+
+
+def _satisfy_one(
+    literal: Literal,
+    subst: Substitution,
+    stream: EventStream,
+    kb: KnowledgeBase,
+    store: FluentStore,
+    window_start: int,
+    window_end: int,
+) -> Iterator[Substitution]:
+    term = literal.term
+    if _is_happens_at(term):
+        yield from _satisfy_happens_at(literal, subst, stream, window_start, window_end)
+    elif _is_holds_at(term):
+        yield from _satisfy_holds_at(literal, subst, store)
+    elif is_comparison(term):
+        if literal.negated:
+            if not evaluate_comparison(term, subst):
+                yield subst
+        elif evaluate_comparison(term, subst):
+            yield subst
+    else:
+        # Atemporal background predicate.
+        if literal.negated:
+            if not kb.holds(term, subst):
+                yield subst
+        else:
+            yield from kb.query(term, subst)
+
+
+def _satisfy_happens_at(
+    literal: Literal,
+    subst: Substitution,
+    stream: EventStream,
+    window_start: int,
+    window_end: int,
+) -> Iterator[Substitution]:
+    event_pattern, time_pattern = literal.term.args  # type: ignore[union-attr]
+    functor, arity = _pattern_key(subst.resolve(event_pattern))
+    time_term = subst.resolve(time_pattern)
+    if isinstance(time_term, Constant) and time_term.is_number:
+        candidates = stream.events_at(functor, arity, int(time_term.value))
+    else:
+        candidates = stream.events_in_window(functor, arity, window_start, window_end)
+    if literal.negated:
+        for event in candidates:
+            if (
+                unify(event_pattern, event.term, subst) is not None
+                and unify(time_pattern, Constant(event.time), subst) is not None
+            ):
+                return
+        yield subst
+        return
+    for event in candidates:
+        extended = unify(event_pattern, event.term, subst)
+        if extended is None:
+            continue
+        extended = unify(time_pattern, Constant(event.time), extended)
+        if extended is not None:
+            yield extended
+
+
+def _satisfy_holds_at(
+    literal: Literal, subst: Substitution, store: FluentStore
+) -> Iterator[Substitution]:
+    pair_pattern = subst.resolve(literal.term.args[0])  # type: ignore[union-attr]
+    time_term = subst.resolve(literal.term.args[1])  # type: ignore[union-attr]
+    if not (isinstance(time_term, Constant) and time_term.is_number):
+        raise EvaluationError("holdsAt time-point must be bound: %r" % (literal.term,))
+    if not is_fvp(pair_pattern):
+        raise EvaluationError("holdsAt requires an FVP argument: %r" % (literal.term,))
+    time = int(time_term.value)
+    if is_ground(pair_pattern):
+        holds = store.holds_at(pair_pattern, time)
+        if literal.negated:
+            if not holds:
+                yield subst
+        elif holds:
+            yield subst
+        return
+    if literal.negated:
+        raise EvaluationError(
+            "negated holdsAt requires ground arguments: %r" % (literal.term,)
+        )
+    assert isinstance(pair_pattern, Compound)
+    key = _pattern_key(pair_pattern.args[0])
+    for pair, intervals in store.instances(key):
+        if not intervals.holds_at(time):
+            continue
+        extended = unify(pair_pattern, pair, subst)
+        if extended is not None:
+            yield extended
+
+
+def _is_happens_at(term: Term) -> bool:
+    return isinstance(term, Compound) and term.functor == "happensAt" and term.arity == 2
+
+
+def _is_holds_at(term: Term) -> bool:
+    return isinstance(term, Compound) and term.functor == "holdsAt" and term.arity == 2
+
+
+def _destructure_head(rule: Rule) -> Tuple[Term, Term]:
+    head = rule.head
+    assert isinstance(head, Compound)
+    pair = head.args[0]
+    if not is_fvp(pair):
+        raise EvaluationError("rule head without an FVP: %r" % (head,))
+    return pair, head.args[1]
+
+
+def _pattern_key(term: Term) -> Tuple[str, int]:
+    if isinstance(term, Compound):
+        return term.functor, term.arity
+    if isinstance(term, Constant) and isinstance(term.value, str):
+        return term.value, 0
+    raise EvaluationError("cannot determine functor of pattern %r" % (term,))

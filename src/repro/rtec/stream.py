@@ -1,0 +1,149 @@
+"""Input streams for the RTEC engine.
+
+The engine consumes two kinds of input (Section 3.2 of the paper):
+
+* **input events** — instantaneous, e.g. ``entersArea(v1, a3)`` at ``T``;
+  modelled by :class:`Event` and stored in an :class:`EventStream`;
+* **input fluents** — durative inputs whose maximal intervals arrive with
+  the stream (e.g. ``proximity(v1, v2) = true``); modelled by
+  :class:`InputFluents`, a mapping from ground FVP to
+  :class:`~repro.intervals.IntervalList`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.intervals import IntervalList
+from repro.logic.terms import Compound, Constant, Term, is_ground
+
+__all__ = ["Event", "EventStream", "InputFluents"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """A ground input event occurrence: ``happensAt(term, time)``."""
+
+    time: int
+    term: Term
+
+    def __post_init__(self) -> None:
+        if not is_ground(self.term):
+            raise ValueError("events must be ground: %r" % (self.term,))
+        if self.time < 0:
+            raise ValueError("events occur at non-negative time-points")
+
+    @property
+    def functor(self) -> str:
+        if isinstance(self.term, Compound):
+            return self.term.functor
+        if isinstance(self.term, Constant) and isinstance(self.term.value, str):
+            return self.term.value
+        raise ValueError("event term has no functor: %r" % (self.term,))
+
+    @property
+    def arity(self) -> int:
+        return self.term.arity if isinstance(self.term, Compound) else 0
+
+
+class EventStream:
+    """A time-ordered store of ground events, indexed by functor.
+
+    Lookups used by the engine:
+
+    * all events with a given functor inside a window (drives the first,
+      positive ``happensAt`` condition of ``initiatedAt``/``terminatedAt``
+      rules);
+    * all events with a given functor at an exact time-point (drives the
+      remaining ``happensAt`` conditions, positive or negated).
+    """
+
+    def __init__(self, events: Iterable[Event] = ()) -> None:
+        self._by_functor: Dict[Tuple[str, int], List[Event]] = defaultdict(list)
+        self._times_by_functor: Dict[Tuple[str, int], List[int]] = {}
+        self._count = 0
+        self._min_time: Optional[int] = None
+        self._max_time: Optional[int] = None
+        bucket_sorted: Dict[Tuple[str, int], List[Event]] = defaultdict(list)
+        for event in events:
+            bucket_sorted[(event.functor, event.arity)].append(event)
+            self._count += 1
+            if self._min_time is None or event.time < self._min_time:
+                self._min_time = event.time
+            if self._max_time is None or event.time > self._max_time:
+                self._max_time = event.time
+        for key, bucket in bucket_sorted.items():
+            bucket.sort(key=lambda e: (e.time, repr(e.term)))
+            self._by_functor[key] = bucket
+            self._times_by_functor[key] = [e.time for e in bucket]
+
+    @property
+    def min_time(self) -> Optional[int]:
+        return self._min_time
+
+    @property
+    def max_time(self) -> Optional[int]:
+        return self._max_time
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[Event]:
+        merged = [e for bucket in self._by_functor.values() for e in bucket]
+        return iter(sorted(merged, key=lambda e: (e.time, repr(e.term))))
+
+    def events_in_window(
+        self, functor: str, arity: int, start: int, end: int
+    ) -> Iterator[Event]:
+        """Events named ``functor/arity`` with ``start < time <= end`` (RTEC window)."""
+        key = (functor, arity)
+        bucket = self._by_functor.get(key)
+        if not bucket:
+            return iter(())
+        times = self._times_by_functor[key]
+        lo = bisect_right(times, start)
+        hi = bisect_right(times, end)
+        return iter(bucket[lo:hi])
+
+    def events_at(self, functor: str, arity: int, time: int) -> Iterator[Event]:
+        """Events named ``functor/arity`` occurring exactly at ``time``."""
+        key = (functor, arity)
+        bucket = self._by_functor.get(key)
+        if not bucket:
+            return iter(())
+        times = self._times_by_functor[key]
+        lo = bisect_left(times, time)
+        hi = bisect_right(times, time)
+        return iter(bucket[lo:hi])
+
+    def functors(self) -> List[Tuple[str, int]]:
+        return sorted(self._by_functor)
+
+
+class InputFluents:
+    """Ground FVP -> maximal intervals, for durative inputs such as ``proximity``."""
+
+    def __init__(self, intervals: Optional[Dict[Term, IntervalList]] = None) -> None:
+        self._intervals: Dict[Term, IntervalList] = {}
+        for fvp_term, interval_list in (intervals or {}).items():
+            self.set(fvp_term, interval_list)
+
+    def set(self, fvp_term: Term, interval_list: IntervalList) -> None:
+        if not is_ground(fvp_term):
+            raise ValueError("input fluent FVPs must be ground: %r" % (fvp_term,))
+        self._intervals[fvp_term] = interval_list
+
+    def items(self) -> Iterator[Tuple[Term, IntervalList]]:
+        return iter(self._intervals.items())
+
+    def get(self, fvp_term: Term) -> IntervalList:
+        return self._intervals.get(fvp_term, IntervalList.empty())
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __contains__(self, fvp_term: Term) -> bool:
+        return fvp_term in self._intervals

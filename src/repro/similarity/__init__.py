@@ -1,0 +1,55 @@
+"""The event-description similarity metric of the paper (Section 4).
+
+The metric estimates the human effort required to correct an LLM-generated
+event description against a hand-crafted gold standard:
+
+* Definition 4.1 — distance between ground expressions
+  (:func:`ground_distance`);
+* Definition 4.3 — cost matrix between sets of expressions
+  (:func:`cost_matrix`);
+* Definition 4.5 — distance between sets of ground expressions, with the
+  optimal matching computed by a from-scratch Kuhn–Munkres implementation
+  (:func:`set_distance`, :mod:`repro.similarity.assignment`);
+* Definitions 4.7–4.10 — tree representation and variable instance lists
+  (:func:`variable_instances`);
+* Definition 4.11 — distance between possibly non-ground expressions
+  (:func:`expression_distance`);
+* Definition 4.12 — distance between rules (:func:`rule_distance`);
+* Definition 4.14 — distance between event descriptions
+  (:func:`event_description_distance`), with ``similarity = 1 - distance``.
+"""
+
+from repro.similarity.assignment import kuhn_munkres
+from repro.similarity.ground import cost_matrix, ground_distance, set_distance, set_similarity
+from repro.similarity.variables import variable_instance_paths, variable_instances
+from repro.similarity.expressions import expression_distance
+from repro.similarity.rules import rule_distance, rule_similarity
+from repro.similarity.event_description import (
+    event_description_distance,
+    event_description_similarity,
+)
+from repro.similarity.report import (
+    MatchingReport,
+    RuleMatch,
+    format_matching,
+    match_descriptions,
+)
+
+__all__ = [
+    "kuhn_munkres",
+    "ground_distance",
+    "cost_matrix",
+    "set_distance",
+    "set_similarity",
+    "variable_instances",
+    "variable_instance_paths",
+    "expression_distance",
+    "rule_distance",
+    "rule_similarity",
+    "event_description_distance",
+    "event_description_similarity",
+    "MatchingReport",
+    "RuleMatch",
+    "format_matching",
+    "match_descriptions",
+]

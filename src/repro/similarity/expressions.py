@@ -1,0 +1,49 @@
+"""Distance between possibly non-ground expressions (Definition 4.11).
+
+Extends the ground distance of Definition 4.1 with two cases for variables:
+a pair of variables is at distance 0 when their instance lists (in their
+respective rules) coincide — i.e. they refer to the same concept — and at
+distance 1 otherwise. A variable compared against a constant or compound
+falls into the mismatch case and costs 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+from repro.logic.terms import Compound, Constant, Term, Variable
+from repro.similarity.variables import InstancePath
+
+__all__ = ["expression_distance"]
+
+InstanceMap = Dict[Variable, FrozenSet[InstancePath]]
+
+
+def expression_distance(
+    left: Term,
+    right: Term,
+    left_instances: InstanceMap,
+    right_instances: InstanceMap,
+) -> float:
+    """Definition 4.11: distance between expressions of two rules, in [0, 1].
+
+    ``left_instances`` (resp. ``right_instances``) is the variable instance
+    map of the rule containing ``left`` (``right``), as computed by
+    :func:`repro.similarity.variables.variable_instances`.
+    """
+    if isinstance(left, Constant) and isinstance(right, Constant):
+        return 0.0 if left.value == right.value else 1.0
+    if isinstance(left, Variable) and isinstance(right, Variable):
+        same = left_instances.get(left, frozenset()) == right_instances.get(
+            right, frozenset()
+        )
+        return 0.0 if same else 1.0
+    if isinstance(left, Compound) and isinstance(right, Compound):
+        if left.functor == right.functor and left.arity == right.arity:
+            total = sum(
+                expression_distance(l, r, left_instances, right_instances)
+                for l, r in zip(left.args, right.args)
+            )
+            return total / (2 * left.arity)
+        return 1.0
+    return 1.0

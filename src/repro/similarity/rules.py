@@ -1,0 +1,56 @@
+"""Distance between rules (Definition 4.12).
+
+Rule heads are only comparable with heads, so the head distance is computed
+directly; the body conditions are matched optimally via the cost matrix of
+Definition 4.3, instantiated with the non-ground expression distance of
+Definition 4.11. Unmatched conditions of the larger body are penalised by
+the maximal distance 1, through the ``M - K`` term.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.logic.parser import Rule
+from repro.similarity.assignment import kuhn_munkres
+from repro.similarity.expressions import expression_distance
+from repro.similarity.variables import literal_expression, variable_instances
+
+__all__ = ["rule_distance", "rule_similarity"]
+
+
+def rule_distance(left: Rule, right: Rule) -> float:
+    """Definition 4.12: distance between two rules, in [0, 1].
+
+    Symmetric: arguments are oriented so that the rule with the larger body
+    provides the ``M`` rows of the cost matrix.
+    """
+    if len(left.body) < len(right.body):
+        left, right = right, left
+    left_instances = variable_instances(left)
+    right_instances = variable_instances(right)
+    head_distance = expression_distance(
+        left.head, right.head, left_instances, right_instances
+    )
+    m = len(left.body)
+    k = len(right.body)
+    if m == 0:
+        return head_distance  # both bodies empty: only heads are compared
+    left_terms = [literal_expression(lit) for lit in left.body]
+    right_terms = [literal_expression(lit) for lit in right.body]
+    matrix: List[List[float]] = [
+        [
+            expression_distance(left_terms[i], right_terms[j], left_instances, right_instances)
+            if j < k
+            else 0.0
+            for j in range(m)
+        ]
+        for i in range(m)
+    ]
+    _assignment, matched_total = kuhn_munkres(matrix)
+    return (head_distance + (m - k) + matched_total) / (m + 1)
+
+
+def rule_similarity(left: Rule, right: Rule) -> float:
+    """Similarity = 1 - distance."""
+    return 1.0 - rule_distance(left, right)

@@ -1,0 +1,70 @@
+"""Variable instance lists (Definitions 4.7–4.10).
+
+Variables appearing in different rules may denote different concepts even
+when they share a name, and vice versa. The metric therefore identifies the
+*concept* a variable refers to by the set of positions — *instances* — at
+which it occurs in its rule. An instance is a path through the tree
+representation of an expression: a sequence of ``(functor, argument-index)``
+steps with 1-based indices (Definition 4.9), e.g. the first occurrence of
+``Vl`` in rule (1) of the paper is
+``[(initiatedAt, 1), (=, 1), (withinArea, 1)]``.
+
+Instance lists are compared as *sets*: two rules that differ only in the
+order of their body conditions assign the same instances to their
+variables, matching the condition-order-insensitive matching of
+Definition 4.12.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.logic.parser import Literal, Rule
+from repro.logic.terms import Compound, Term, Variable
+
+__all__ = ["InstancePath", "variable_instance_paths", "variable_instances", "literal_expression"]
+
+#: One occurrence of a variable: a path of (functor, 1-based index) steps.
+InstancePath = Tuple[Tuple[str, int], ...]
+
+
+def variable_instance_paths(expression: Term) -> Dict[Variable, List[InstancePath]]:
+    """Instances of every variable in one expression (depth-first order)."""
+    found: Dict[Variable, List[InstancePath]] = {}
+
+    def walk(term: Term, prefix: InstancePath) -> None:
+        if isinstance(term, Variable):
+            found.setdefault(term, []).append(prefix)
+            return
+        if isinstance(term, Compound):
+            for index, arg in enumerate(term.args, start=1):
+                walk(arg, prefix + ((term.functor, index),))
+
+    walk(expression, ())
+    return found
+
+
+def literal_expression(literal: Literal) -> Term:
+    """The expression representing a body condition.
+
+    Negation is part of the condition: ``not happensAt(...)`` is represented
+    as the compound ``not(happensAt(...))`` so that a negated condition is
+    maximally distant from its positive counterpart.
+    """
+    if literal.negated:
+        return Compound("not", (literal.term,))
+    return literal.term
+
+
+def variable_instances(rule: Rule) -> Dict[Variable, FrozenSet[InstancePath]]:
+    """Definition 4.10: ``vir(V)`` for every variable ``V`` of ``rule``.
+
+    Collects instances across the head and every body condition of the
+    rule; the result maps each variable to the *set* of its instance paths.
+    """
+    combined: Dict[Variable, List[InstancePath]] = {}
+    expressions = [rule.head] + [literal_expression(lit) for lit in rule.body]
+    for expression in expressions:
+        for variable, paths in variable_instance_paths(expression).items():
+            combined.setdefault(variable, []).extend(paths)
+    return {variable: frozenset(paths) for variable, paths in combined.items()}

@@ -1,0 +1,29 @@
+"""Shared fixtures: small datasets and parsed gold structures.
+
+The expensive artefacts (synthetic dataset, recognition run) are
+session-scoped so the whole suite builds them once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.maritime import build_dataset, gold_event_description
+from repro.rtec import RTECEngine
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A reduced synthetic maritime dataset (fast, still covers everything)."""
+    return build_dataset(seed=7, scale=0.2, traffic=2)
+
+
+@pytest.fixture(scope="session")
+def gold_description():
+    return gold_event_description()
+
+
+@pytest.fixture(scope="session")
+def gold_recognition(small_dataset, gold_description):
+    engine = RTECEngine(gold_description, small_dataset.kb, small_dataset.vocabulary)
+    return engine.recognise(small_dataset.stream, small_dataset.input_fluents)

@@ -1,0 +1,120 @@
+"""Integration tests for the figure harnesses: the paper's observations
+must hold on the reproduced experiments."""
+
+import pytest
+
+from repro.experiments import run_fig2a, run_fig2b, run_fig2c
+from repro.experiments.fig2a import format_table as fig2a_table
+from repro.experiments.fig2b import format_table as fig2b_table
+from repro.experiments.fig2c import format_table as fig2c_table
+from repro.llm.profiles import BEST_SCHEME
+
+
+@pytest.fixture(scope="module")
+def fig2a():
+    return run_fig2a(seed=0)
+
+
+@pytest.fixture(scope="module")
+def fig2b(fig2a, small_dataset_module):
+    return run_fig2b(small_dataset_module.kb, fig2a=fig2a)
+
+
+@pytest.fixture(scope="module")
+def small_dataset_module():
+    from repro.maritime import build_dataset
+
+    return build_dataset(seed=7, scale=0.2, traffic=2)
+
+
+@pytest.fixture(scope="module")
+def fig2c(fig2b, small_dataset_module):
+    return run_fig2c(fig2b=fig2b, dataset=small_dataset_module)
+
+
+class TestFig2a:
+    def test_best_scheme_selection_matches_paper_markers(self, fig2a):
+        for model, outcome in fig2a.outcomes.items():
+            assert outcome.scheme == BEST_SCHEME[model], model
+
+    def test_top_three_models(self, fig2a):
+        assert set(fig2a.top_models(3)) == {"o1", "gpt-4o", "llama-3"}
+
+    def test_o1_has_highest_average(self, fig2a):
+        best = max(fig2a.outcomes, key=lambda m: fig2a.outcomes[m].average_similarity)
+        assert best == "o1"
+
+    def test_gemma_is_worst(self, fig2a):
+        worst = min(fig2a.outcomes, key=lambda m: fig2a.outcomes[m].average_similarity)
+        assert worst == "gemma-2"
+
+    def test_gemma_trawling_zero(self, fig2a):
+        assert fig2a.outcomes["gemma-2"].activity_similarities["trawling"] == 0.0
+
+    def test_trawling_contrast(self, fig2a):
+        # GPT-4o/o1/Llama-3 high on trawling; GPT-4 and Mistral much lower.
+        for strong in ("gpt-4o", "o1", "llama-3"):
+            assert fig2a.outcomes[strong].activity_similarities["trawling"] > 0.7
+        for weak in ("gpt-4", "mistral"):
+            assert fig2a.outcomes[weak].activity_similarities["trawling"] < 0.5
+
+    def test_series_shape(self, fig2a):
+        series = fig2a.series()
+        assert all(len(values) == 9 for values in series.values())
+
+    def test_table_renders(self, fig2a):
+        table = fig2a_table(fig2a)
+        assert "o1□" in table and "gemma-2△" in table
+
+
+class TestFig2b:
+    def test_correction_improves_or_preserves_average(self, fig2b):
+        for model in fig2b.corrected:
+            assert fig2b.improvement(model) >= 0, model
+
+    def test_improvements_are_small(self, fig2b):
+        # The paper: the changes "led to a small increase in the average
+        # similarity score".
+        for model in fig2b.corrected:
+            assert fig2b.improvement(model) < 0.1, model
+
+    def test_o1_manual_rename_applied(self, fig2b):
+        assert fig2b.reports["o1"].constant_renames["trawlingArea"] == "fishing"
+
+    def test_table_renders(self, fig2b):
+        table = fig2b_table(fig2b)
+        assert "o1■" in table and "gpt-4o▲" in table
+
+
+class TestFig2c:
+    def test_o1_has_highest_accuracy(self, fig2c):
+        averages = {model: fig2c.average_f1(model) for model in fig2c.scores}
+        assert max(averages, key=averages.get) == "o1"
+        assert averages["o1"] > 0.95
+
+    def test_o1_loitering_perfect(self, fig2c):
+        # o1's loitering is syntactically different but semantically
+        # equivalent: "a perfect f1-score" (Section 5.2).
+        assert fig2c.scores["o1"]["loitering"].f1 == pytest.approx(1.0)
+
+    def test_operator_confusion_breaks_loitering(self, fig2c):
+        # GPT-4o and Llama-3 confuse union_all with intersect_all: the rule
+        # is never satisfied.
+        assert fig2c.scores["gpt-4o"]["loitering"].f1 == 0.0
+        assert fig2c.scores["llama-3"]["loitering"].f1 == 0.0
+
+    def test_pilot_boarding_degraded_for_gpt4o_and_llama(self, fig2c):
+        assert fig2c.scores["gpt-4o"]["pilotBoarding"].f1 < 0.9
+        assert fig2c.scores["llama-3"]["pilotBoarding"].f1 < 0.9
+        assert fig2c.scores["o1"]["pilotBoarding"].f1 == pytest.approx(1.0)
+
+    def test_simple_fvps_comparably_accurate(self, fig2c):
+        # "all three event descriptions contained comparably accurate
+        # definitions for most simple FVPs"
+        for model in fig2c.scores:
+            assert fig2c.scores[model]["highSpeedNearCoast"].f1 > 0.9, model
+            assert fig2c.scores[model]["drifting"].f1 > 0.9, model
+
+    def test_table_renders(self, fig2c):
+        table = fig2c_table(fig2c)
+        assert "avg" in table

@@ -1,0 +1,55 @@
+"""Tests for the text bar-chart renderer."""
+
+import pytest
+
+from repro.experiments.render import bar, grouped_bar_chart
+
+
+class TestBar:
+    def test_zero(self):
+        assert bar(0.0, width=10).strip() == ""
+
+    def test_full(self):
+        assert bar(1.0, width=10) == "█" * 10
+
+    def test_half(self):
+        assert bar(0.5, width=10).rstrip() == "█" * 5
+
+    def test_partial_block(self):
+        text = bar(0.55, width=10).rstrip()
+        assert text.startswith("█" * 5)
+        assert len(text) == 6  # a partial block follows
+
+    def test_clamps_out_of_range(self):
+        assert bar(1.7, width=8) == "█" * 8
+        assert bar(-0.5, width=8).strip() == ""
+
+    def test_fixed_width(self):
+        for value in (0.0, 0.3, 0.77, 1.0):
+            assert len(bar(value, width=12)) == 12
+
+    def test_custom_maximum(self):
+        assert bar(5.0, width=10, maximum=10.0).rstrip() == "█" * 5
+
+    def test_invalid_maximum(self):
+        with pytest.raises(ValueError):
+            bar(0.5, maximum=0)
+
+
+class TestGroupedBarChart:
+    SERIES = {"o1□": [1.0, 0.5], "gemma-2△": [0.0, 0.25]}
+
+    def test_structure(self):
+        chart = grouped_bar_chart(self.SERIES, ["tr", "l"], width=8)
+        lines = chart.splitlines()
+        assert lines[0] == "tr"
+        assert len(lines) == 6  # 2 groups x (1 label + 2 bars)
+        assert "o1□" in lines[1]
+        assert "1.00" in lines[1]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(self.SERIES, ["tr"], width=8)
+
+    def test_empty_series(self):
+        assert grouped_bar_chart({}, []) == ""

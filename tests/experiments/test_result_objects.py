@@ -1,0 +1,43 @@
+"""Unit tests for the experiment result objects (shapes and helpers)."""
+
+import pytest
+
+from repro.experiments.fig2a import scheme_mark
+from repro.experiments.robustness import RobustnessResult, format_table
+from repro.llm.prompts import CHAIN_OF_THOUGHT, FEW_SHOT
+from repro.maritime.gold import COMPOSITE_ACTIVITIES
+
+
+class TestSchemeMark:
+    def test_markers_match_the_paper(self):
+        assert scheme_mark(FEW_SHOT) == "□"
+        assert scheme_mark(CHAIN_OF_THOUGHT) == "△"
+        assert scheme_mark(FEW_SHOT, corrected=True) == "■"
+        assert scheme_mark(CHAIN_OF_THOUGHT, corrected=True) == "▲"
+
+
+def _samples(values):
+    return {
+        "o1": {activity: list(values) for activity in COMPOSITE_ACTIVITIES},
+    }
+
+
+class TestRobustnessResult:
+    def test_mean_and_std(self):
+        result = RobustnessResult(seeds=[0, 1], samples=_samples([1.0, 0.5]))
+        assert result.mean("o1", "trawling") == pytest.approx(0.75)
+        assert result.std("o1", "trawling") == pytest.approx(0.25)
+
+    def test_zero_variance(self):
+        result = RobustnessResult(seeds=[0, 1, 2], samples=_samples([0.8, 0.8, 0.8]))
+        assert result.std("o1", "loitering") == pytest.approx(0.0, abs=1e-12)
+
+    def test_average_f1(self):
+        result = RobustnessResult(seeds=[0], samples=_samples([0.6]))
+        assert result.average_f1("o1") == pytest.approx(0.6)
+
+    def test_format_table(self):
+        result = RobustnessResult(seeds=[0, 1], samples=_samples([1.0, 0.0]))
+        table = format_table(result)
+        assert "o1" in table
+        assert "0.50±0.50" in table

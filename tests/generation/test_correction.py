@@ -1,0 +1,109 @@
+"""Tests for minimal syntactic correction (the Figure 2b step)."""
+
+import pytest
+
+from repro.generation.correction import correct_event_description, levenshtein
+from repro.generation.generator import generate
+from repro.llm import FEW_SHOT, CHAIN_OF_THOUGHT
+from repro.logic.knowledge import KnowledgeBase
+from repro.maritime.dataset import build_knowledge_base
+from repro.maritime.ais import Vessel
+from repro.maritime.geometry import default_geography
+from repro.maritime.gold import MARITIME_VOCABULARY
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return build_knowledge_base(
+        [Vessel("v1", "fishing"), Vessel("t1", "tug"), Vessel("p1", "pilot")],
+        default_geography(),
+    )
+
+
+class TestLevenshtein:
+    def test_identity(self):
+        assert levenshtein("abc", "abc") == 0
+
+    def test_empty_strings(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+
+    def test_substitution_insert_delete(self):
+        assert levenshtein("cat", "cut") == 1
+        assert levenshtein("cat", "cats") == 1
+        assert levenshtein("cats", "cat") == 1
+
+    def test_classic(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_symmetry(self):
+        assert levenshtein("fisheries", "fishing") == levenshtein("fishing", "fisheries")
+
+
+class TestAutomaticCorrection:
+    def test_camel_case_event_rename_fixed(self, kb):
+        # Llama-3's gapEnd -> gap_end: exact match after normalisation.
+        outcome = generate("llama-3", FEW_SHOT)
+        corrected, report = correct_event_description(
+            outcome.generated, MARITIME_VOCABULARY, kb
+        )
+        assert report.functor_renames.get("gapEnd") == "gap_end"
+        assert "gapEnd" not in corrected.to_text()
+
+    def test_close_constant_rename_fixed(self, kb):
+        # Llama-3's 'fisheries' -> 'fishing' via edit distance.
+        outcome = generate("llama-3", FEW_SHOT)
+        _corrected, report = correct_event_description(
+            outcome.generated, MARITIME_VOCABULARY, kb
+        )
+        assert report.constant_renames.get("fisheries") == "fishing"
+
+    def test_unrelated_names_left_alone(self, kb):
+        # GPT-4's undefined 'fishingOperation' has no close known name: it
+        # must remain (and stay detectable as an undefined-fluent issue).
+        outcome = generate("gpt-4", FEW_SHOT)
+        corrected, report = correct_event_description(
+            outcome.generated, MARITIME_VOCABULARY, kb
+        )
+        assert any("fishingOperation" in item for item in report.unresolved)
+        issues = corrected.to_event_description().validate(MARITIME_VOCABULARY)
+        assert any(i.category == "undefined-fluent" for i in issues)
+
+    def test_semantic_errors_not_fixed(self, kb):
+        # GPT-4o's intersect_all-for-union_all confusion must survive.
+        outcome = generate("gpt-4o", CHAIN_OF_THOUGHT)
+        corrected, _report = correct_event_description(
+            outcome.generated, MARITIME_VOCABULARY, kb
+        )
+        loitering = corrected.rules_for("loitering")
+        text = "\n".join(repr(rule) for rule in loitering)
+        assert "intersect_all" in text
+
+    def test_self_consistent_renames_kept(self, kb):
+        # A model that consistently renames a fluent it itself defines has
+        # made no referential error: nothing to correct.
+        outcome = generate("gpt-4", FEW_SHOT)
+        corrected, _report = correct_event_description(
+            outcome.generated, MARITIME_VOCABULARY, kb
+        )
+        assert "slowOrIdle" in corrected.to_text()
+
+
+class TestManualRenames:
+    def test_reviewer_map_applied(self, kb):
+        outcome = generate("o1", FEW_SHOT)
+        assert "trawlingArea" in outcome.generated.to_text()
+        corrected, report = correct_event_description(
+            outcome.generated,
+            MARITIME_VOCABULARY,
+            kb,
+            manual_constant_renames={"trawlingArea": "fishing"},
+        )
+        assert "trawlingArea" not in corrected.to_text()
+        assert report.constant_renames["trawlingArea"] == "fishing"
+
+    def test_correction_is_idempotent(self, kb):
+        outcome = generate("llama-3", FEW_SHOT)
+        once, _ = correct_event_description(outcome.generated, MARITIME_VOCABULARY, kb)
+        twice, report = correct_event_description(once, MARITIME_VOCABULARY, kb)
+        assert once.to_text() == twice.to_text()

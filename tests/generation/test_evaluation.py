@@ -1,0 +1,82 @@
+"""Tests for the CER accuracy scoring (Figure 2c machinery)."""
+
+import pytest
+
+from repro.generation.evaluation import ActivityScore, score_activity
+from repro.intervals import IntervalList
+from repro.logic.parser import parse_term
+from repro.rtec.result import RecognitionResult
+
+
+def _result(**instances):
+    result = RecognitionResult()
+    for text, pairs in instances.items():
+        pass
+    return result
+
+
+def _make(pairs_by_fvp):
+    result = RecognitionResult()
+    for text, pairs in pairs_by_fvp.items():
+        result.merge(parse_term(text), IntervalList(pairs))
+    return result
+
+
+class TestActivityScore:
+    def test_perfect(self):
+        score = ActivityScore("t", true_positives=10, false_positives=0, false_negatives=0)
+        assert score.precision == 1 and score.recall == 1 and score.f1 == 1
+
+    def test_zero_when_nothing_detected(self):
+        score = ActivityScore("t", 0, 0, 5)
+        assert score.f1 == 0
+
+    def test_no_detections_anywhere(self):
+        score = ActivityScore("t", 0, 0, 0)
+        assert score.f1 == 0
+        assert score.undetected
+
+    def test_precision_recall(self):
+        score = ActivityScore("t", true_positives=6, false_positives=2, false_negatives=6)
+        assert score.precision == pytest.approx(0.75)
+        assert score.recall == pytest.approx(0.5)
+        assert score.f1 == pytest.approx(0.6)
+
+
+class TestScoreActivity:
+    def test_identical_results_perfect_f1(self):
+        gold = _make({"trawling(v1)=true": [(10, 20)]})
+        candidate = _make({"trawling(v1)=true": [(10, 20)]})
+        score = score_activity(gold, candidate, "trawling")
+        assert score.f1 == 1
+
+    def test_partial_overlap(self):
+        gold = _make({"trawling(v1)=true": [(10, 19)]})  # 10 points
+        candidate = _make({"trawling(v1)=true": [(15, 24)]})  # 10 points, 5 shared
+        score = score_activity(gold, candidate, "trawling")
+        assert score.true_positives == 5
+        assert score.false_positives == 5
+        assert score.false_negatives == 5
+        assert score.f1 == pytest.approx(0.5)
+
+    def test_missing_instance_counts_as_false_negatives(self):
+        gold = _make({"trawling(v1)=true": [(10, 19)], "trawling(v2)=true": [(0, 9)]})
+        candidate = _make({"trawling(v1)=true": [(10, 19)]})
+        score = score_activity(gold, candidate, "trawling")
+        assert score.false_negatives == 10
+        assert score.recall == pytest.approx(0.5)
+
+    def test_spurious_instance_counts_as_false_positives(self):
+        gold = _make({"trawling(v1)=true": [(10, 19)]})
+        candidate = _make(
+            {"trawling(v1)=true": [(10, 19)], "trawling(v9)=true": [(0, 4)]}
+        )
+        score = score_activity(gold, candidate, "trawling")
+        assert score.false_positives == 5
+        assert score.precision == pytest.approx(10 / 15)
+
+    def test_other_activities_ignored(self):
+        gold = _make({"trawling(v1)=true": [(10, 19)], "tugging(v1, v2)=true": [(0, 50)]})
+        candidate = _make({"trawling(v1)=true": [(10, 19)]})
+        score = score_activity(gold, candidate, "trawling")
+        assert score.f1 == 1

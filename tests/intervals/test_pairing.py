@@ -1,0 +1,78 @@
+"""Unit and property tests for initiation/termination pairing (Section 2)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.intervals import make_intervals_from_points
+
+
+class TestPairing:
+    def test_simple_pair(self):
+        # Initiated at 3, terminated at 8: holds over (3, 8] = [4, 8].
+        result = make_intervals_from_points([3], [8])
+        assert result.as_pairs() == [(4, 8)]
+
+    def test_intermediate_initiations_ignored(self):
+        result = make_intervals_from_points([3, 5, 6], [8])
+        assert result.as_pairs() == [(4, 8)]
+
+    def test_earlier_terminations_ignored(self):
+        result = make_intervals_from_points([5], [2, 9])
+        assert result.as_pairs() == [(6, 9)]
+
+    def test_multiple_periods(self):
+        result = make_intervals_from_points([1, 10], [5, 14])
+        assert result.as_pairs() == [(2, 5), (11, 14)]
+
+    def test_simultaneous_initiation_and_termination_cancels(self):
+        assert not make_intervals_from_points([4], [4])
+
+    def test_open_interval_until_query_time(self):
+        result = make_intervals_from_points([3], [], open_end=10)
+        assert result.as_pairs() == [(4, 10)]
+
+    def test_no_open_end_drops_trailing_initiation(self):
+        assert not make_intervals_from_points([3], [])
+
+    def test_open_end_at_initiation_point_yields_nothing(self):
+        assert not make_intervals_from_points([3], [], open_end=3)
+
+    def test_termination_without_initiation(self):
+        assert not make_intervals_from_points([], [5])
+
+    def test_restart_after_termination(self):
+        result = make_intervals_from_points([1, 5], [3], open_end=9)
+        assert result.as_pairs() == [(2, 3), (6, 9)]
+
+    def test_duplicate_points_deduplicated(self):
+        result = make_intervals_from_points([3, 3], [8, 8])
+        assert result.as_pairs() == [(4, 8)]
+
+
+class TestPairingProperties:
+    @given(
+        initiations=st.lists(st.integers(0, 50), max_size=10),
+        terminations=st.lists(st.integers(0, 50), max_size=10),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_reference_semantics(self, initiations, terminations):
+        """holdsAt(F=V, T) iff some initiation Ts < T has no termination in
+        [Ts, T) — checked point by point against the interval output."""
+        result = make_intervals_from_points(initiations, terminations, open_end=60)
+        init_set = sorted(set(initiations))
+        term_set = sorted(set(terminations))
+        for t in range(0, 61):
+            holds = any(
+                ts < t and not any(ts <= te < t for te in term_set)
+                for ts in init_set
+            )
+            assert result.holds_at(t) == holds, "mismatch at t=%d" % t
+
+    @given(
+        initiations=st.lists(st.integers(0, 50), max_size=8),
+        terminations=st.lists(st.integers(0, 50), max_size=8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_nothing_holds_beyond_open_end(self, initiations, terminations):
+        result = make_intervals_from_points(initiations, terminations, open_end=30)
+        assert all(not result.holds_at(t) for t in range(31, 60))

@@ -1,0 +1,55 @@
+"""Tests for the domain-parametric pipeline (DomainSpec)."""
+
+import pytest
+
+from repro.fleet import fleet_domain_spec
+from repro.llm import DomainSpec, FEW_SHOT, GenerationPipeline, SimulatedLLM
+from repro.llm.prompts import prompt_g, prompt_r
+from repro.maritime.gold import ACTIVITY_GROUPS
+
+
+class TestDefaults:
+    def test_default_domain_is_maritime(self):
+        pipeline = GenerationPipeline(SimulatedLLM("o1"), FEW_SHOT)
+        assert pipeline.domain.name == "Maritime"
+        assert pipeline.groups == list(ACTIVITY_GROUPS)
+
+    def test_explicit_groups_override_domain(self):
+        subset = ACTIVITY_GROUPS[:2]
+        pipeline = GenerationPipeline(SimulatedLLM("o1"), FEW_SHOT, groups=subset)
+        assert pipeline.groups == list(subset)
+        generated = pipeline.run()
+        assert [a.name for a in generated.activities] == [g.name for g in subset]
+
+
+class TestFleetDomain:
+    def test_prompt_r_identical_across_domains(self):
+        # Section 6: "Prompt R may be re-used as it is."
+        maritime = GenerationPipeline(SimulatedLLM("o1"), FEW_SHOT)
+        fleet = GenerationPipeline(
+            SimulatedLLM("o1"), FEW_SHOT, domain=fleet_domain_spec()
+        )
+        assert maritime._teaching_prompts()[0] == fleet._teaching_prompts()[0]
+        assert maritime._teaching_prompts()[0] == prompt_r()
+
+    def test_prompt_e_and_t_customised(self):
+        fleet = GenerationPipeline(
+            SimulatedLLM("o1"), FEW_SHOT, domain=fleet_domain_spec()
+        )
+        prompts = fleet._teaching_prompts()
+        assert "ignition_on(Vehicle)" in prompts[2]  # prompt E
+        assert "unsafeManoeuvreWindow" in prompts[3]  # prompt T
+        assert "zoneType(Zone, ZoneType)" in prompts[3]
+
+    def test_prompt_g_carries_domain_label(self):
+        spec = fleet_domain_spec()
+        text = prompt_g("Idling: something.", spec.name)
+        assert "fleet activity description" in text
+        assert "Fleet Composite Activity Description - " in text
+
+
+class TestDomainSpecValue:
+    def test_frozen(self):
+        spec = DomainSpec()
+        with pytest.raises(Exception):
+            spec.name = "Other"  # type: ignore[misc]

@@ -1,0 +1,73 @@
+"""Unit tests for the atemporal knowledge base."""
+
+import pytest
+
+from repro.logic.knowledge import KnowledgeBase
+from repro.logic.parser import parse_term
+from repro.logic.terms import Constant, Variable
+
+
+@pytest.fixture
+def kb():
+    return KnowledgeBase.from_text(
+        """
+        areaType(a1, fishing).
+        areaType(a2, anchorage).
+        thresholds(movingMin, 0.5).
+        port.
+        """
+    )
+
+
+class TestConstruction:
+    def test_counts_facts(self, kb):
+        assert len(kb) == 4
+
+    def test_rejects_rules(self):
+        with pytest.raises(ValueError):
+            KnowledgeBase.from_text("f(X) :- g(X).")
+
+    def test_rejects_non_ground_facts(self):
+        kb = KnowledgeBase()
+        with pytest.raises(ValueError):
+            kb.add(parse_term("areaType(A, fishing)"))
+
+    def test_duplicate_facts_deduplicated(self):
+        kb = KnowledgeBase()
+        kb.add(parse_term("f(a)"))
+        kb.add(parse_term("f(a)"))
+        assert len(kb) == 1
+
+    def test_zero_arity_atom_fact(self, kb):
+        assert kb.holds(Constant("port"))
+
+
+class TestQuery:
+    def test_ground_query_hit(self, kb):
+        assert kb.holds(parse_term("areaType(a1, fishing)"))
+
+    def test_ground_query_miss(self, kb):
+        assert not kb.holds(parse_term("areaType(a1, anchorage)"))
+
+    def test_query_with_variables(self, kb):
+        results = list(kb.query(parse_term("areaType(A, fishing)")))
+        assert len(results) == 1
+        assert results[0].resolve(Variable("A")) == Constant("a1")
+
+    def test_query_enumerates_all(self, kb):
+        results = list(kb.query(parse_term("areaType(A, T)")))
+        assert len(results) == 2
+
+    def test_query_threshold_binds_number(self, kb):
+        (result,) = kb.query(parse_term("thresholds(movingMin, X)"))
+        assert result.resolve(Variable("X")) == Constant(0.5)
+
+    def test_unknown_predicate(self, kb):
+        assert not kb.holds(parse_term("vesselType(v1, tug)"))
+
+    def test_contains(self, kb):
+        assert parse_term("areaType(a2, anchorage)") in kb
+        assert parse_term("areaType(a9, anchorage)") not in kb
+
+    def test_facts_filtered_by_functor(self, kb):
+        assert len(list(kb.facts("areaType"))) == 2

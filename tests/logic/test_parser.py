@@ -1,0 +1,154 @@
+"""Unit tests for the RTEC dialect parser."""
+
+import pytest
+
+from repro.logic.parser import (
+    ParseError,
+    parse_program,
+    parse_rule,
+    parse_term,
+    tokenize,
+)
+from repro.logic.terms import Compound, Constant, Variable
+
+
+class TestTokenizer:
+    def test_simple_tokens(self):
+        kinds = [t.kind for t in tokenize("foo(X, 1).")]
+        assert kinds == ["atom", "punct", "var", "punct", "number", "punct", "punct", "end"]
+
+    def test_comments_dropped(self):
+        tokens = tokenize("% a comment\nfoo.")
+        assert tokens[0].text == "foo"
+
+    def test_quoted_atom(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].kind == "atom"
+        assert tokens[0].text == "hello world"
+
+    def test_unterminated_quote(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_line_column_tracking(self):
+        tokens = tokenize("a.\nbb.")
+        assert tokens[2].line == 2
+        assert tokens[2].column == 1
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("foo @ bar")
+
+    def test_float_then_period(self):
+        tokens = tokenize("f(0.5).")
+        numbers = [t for t in tokens if t.kind == "number"]
+        assert numbers[0].text == "0.5"
+
+
+class TestTerms:
+    def test_atom(self):
+        assert parse_term("fishing") == Constant("fishing")
+
+    def test_variable(self):
+        assert parse_term("Vessel") == Variable("Vessel")
+
+    def test_underscore_variable(self):
+        assert parse_term("_x") == Variable("_x")
+
+    def test_integer_and_float(self):
+        assert parse_term("23") == Constant(23)
+        assert parse_term("0.75") == Constant(0.75)
+
+    def test_negative_number_in_args(self):
+        term = parse_term("f(-2, 3)")
+        assert term.args[0] == Constant(-2)
+
+    def test_compound(self):
+        term = parse_term("entersArea(Vl, a1)")
+        assert term == Compound("entersArea", (Variable("Vl"), Constant("a1")))
+
+    def test_nested_compound(self):
+        term = parse_term("happensAt(entersArea(Vl, A), T)")
+        assert term.functor == "happensAt"
+        assert term.args[0].functor == "entersArea"
+
+    def test_fvp_infix_equals(self):
+        term = parse_term("withinArea(Vl, fishing)=true")
+        assert term.functor == "="
+        assert term.args[1] == Constant("true")
+
+    def test_comparison_operators(self):
+        for op in ("<", ">", "=<", ">=", "=:=", "=\\="):
+            term = parse_term("Speed %s Max" % op)
+            assert term.functor == op
+
+    def test_list(self):
+        term = parse_term("[I1, I2, I3]")
+        assert term.functor == "list"
+        assert term.arity == 3
+
+    def test_empty_list(self):
+        assert parse_term("[]") == Constant("[]")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_term("foo bar")
+
+
+class TestRules:
+    def test_fact(self):
+        rule = parse_rule("areaType(a1, fishing).")
+        assert rule.is_fact
+        assert rule.head.functor == "areaType"
+
+    def test_rule_with_body(self):
+        rule = parse_rule(
+            "initiatedAt(withinArea(Vl, AT)=true, T) :- "
+            "happensAt(entersArea(Vl, A), T), areaType(A, AT)."
+        )
+        assert not rule.is_fact
+        assert len(rule.body) == 2
+        assert not rule.body[0].negated
+
+    def test_negated_literal(self):
+        rule = parse_rule("initiatedAt(f(V)=true, T) :- happensAt(e(V), T), not holdsAt(g(V)=true, T).")
+        assert rule.body[1].negated
+
+    def test_negation_with_parentheses(self):
+        rule = parse_rule("initiatedAt(f(V)=true, T) :- happensAt(e(V), T), not(holdsAt(g(V)=true, T)).")
+        assert rule.body[1].negated
+        assert rule.body[1].term.functor == "holdsAt"
+
+    def test_prolog_negation_symbol(self):
+        rule = parse_rule("initiatedAt(f(V)=true, T) :- happensAt(e(V), T), \\+ holdsAt(g(V)=true, T).")
+        assert rule.body[1].negated
+
+    def test_missing_period(self):
+        with pytest.raises(ParseError):
+            parse_rule("f(a) :- g(b)")
+
+    def test_program_with_multiple_rules(self):
+        rules = parse_program(
+            """
+            % two facts and a rule
+            areaType(a1, fishing).
+            areaType(a2, anchorage).
+            initiatedAt(f(V)=true, T) :- happensAt(e(V), T).
+            """
+        )
+        assert len(rules) == 3
+        assert rules[0].is_fact
+        assert not rules[2].is_fact
+
+    def test_holds_for_rule(self):
+        rule = parse_rule(
+            "holdsFor(underWay(V)=true, I) :- holdsFor(movingSpeed(V)=below, I1), "
+            "union_all([I1], I)."
+        )
+        assert rule.head.functor == "holdsFor"
+        assert rule.body[1].term.functor == "union_all"
+
+    def test_error_position_reported(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("f(a).\ng(:-).")
+        assert "line 2" in str(excinfo.value)

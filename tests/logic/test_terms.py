@@ -1,0 +1,92 @@
+"""Unit tests for the term representation."""
+
+import pytest
+
+from repro.logic.terms import (
+    Compound,
+    Constant,
+    Variable,
+    fvp,
+    is_fvp,
+    is_ground,
+    make_atom,
+    term_variables,
+    walk_subterms,
+)
+
+
+class TestConstruction:
+    def test_variable_repr(self):
+        assert repr(Variable("Vessel")) == "Vessel"
+
+    def test_constant_atom(self):
+        constant = Constant("fishing")
+        assert not constant.is_number
+        assert repr(constant) == "fishing"
+
+    def test_constant_number(self):
+        assert Constant(23).is_number
+        assert Constant(0.5).is_number
+
+    def test_compound_requires_args(self):
+        with pytest.raises(ValueError):
+            Compound("foo", ())
+
+    def test_compound_arity(self):
+        term = Compound("entersArea", (Variable("Vl"), Constant("a1")))
+        assert term.arity == 2
+        assert term.functor == "entersArea"
+
+    def test_make_atom_zero_arity(self):
+        assert make_atom("fishing") == Constant("fishing")
+
+    def test_make_atom_with_args(self):
+        assert make_atom("f", Constant(1)) == Compound("f", (Constant(1),))
+
+
+class TestFvp:
+    def test_fvp_shape(self):
+        pair = fvp(Compound("withinArea", (Variable("Vl"), Constant("fishing"))), Constant("true"))
+        assert is_fvp(pair)
+        assert pair.functor == "="
+
+    def test_non_fvp(self):
+        assert not is_fvp(Constant("true"))
+        assert not is_fvp(Compound("f", (Constant(1),)))
+        assert not is_fvp(Compound("=", (Constant(1),)))
+
+
+class TestGroundness:
+    def test_constant_is_ground(self):
+        assert is_ground(Constant("a"))
+
+    def test_variable_is_not_ground(self):
+        assert not is_ground(Variable("X"))
+
+    def test_nested(self):
+        ground = Compound("f", (Compound("g", (Constant(1),)),))
+        assert is_ground(ground)
+        with_var = Compound("f", (Compound("g", (Variable("X"),)),))
+        assert not is_ground(with_var)
+
+
+class TestTraversal:
+    def test_term_variables_order_and_dedup(self):
+        term = Compound(
+            "f", (Variable("B"), Compound("g", (Variable("A"), Variable("B"))))
+        )
+        assert term_variables(term) == [Variable("B"), Variable("A")]
+
+    def test_walk_subterms_depth_first(self):
+        term = Compound("f", (Constant(1), Compound("g", (Constant(2),))))
+        subterms = list(walk_subterms(term))
+        assert subterms[0] == term
+        assert Constant(2) in subterms
+        assert len(subterms) == 4
+
+    def test_hashable(self):
+        a = Compound("f", (Variable("X"),))
+        b = Compound("f", (Variable("X"),))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1

@@ -1,0 +1,78 @@
+"""Unit tests for unification and substitutions."""
+
+import pytest
+
+from repro.logic.parser import parse_term
+from repro.logic.terms import Constant, Variable
+from repro.logic.unification import Substitution, apply_substitution, rename_variables, unify
+
+
+class TestUnify:
+    def test_identical_constants(self):
+        assert unify(Constant("a"), Constant("a")) is not None
+
+    def test_different_constants(self):
+        assert unify(Constant("a"), Constant("b")) is None
+
+    def test_numeric_equality_across_types(self):
+        assert unify(Constant(2), Constant(2.0)) is not None
+
+    def test_variable_binds_constant(self):
+        subst = unify(Variable("X"), Constant("a"))
+        assert subst.resolve(Variable("X")) == Constant("a")
+
+    def test_constant_binds_variable(self):
+        subst = unify(Constant("a"), Variable("X"))
+        assert subst.resolve(Variable("X")) == Constant("a")
+
+    def test_same_variable(self):
+        subst = unify(Variable("X"), Variable("X"))
+        assert subst is not None
+        assert len(subst) == 0
+
+    def test_compound_unification(self):
+        subst = unify(parse_term("f(X, b)"), parse_term("f(a, Y)"))
+        assert subst.resolve(Variable("X")) == Constant("a")
+        assert subst.resolve(Variable("Y")) == Constant("b")
+
+    def test_functor_mismatch(self):
+        assert unify(parse_term("f(a)"), parse_term("g(a)")) is None
+
+    def test_arity_mismatch(self):
+        assert unify(parse_term("f(a)"), parse_term("f(a, b)")) is None
+
+    def test_nested_binding_consistency(self):
+        # X must take the same value at both positions.
+        assert unify(parse_term("f(X, X)"), parse_term("f(a, b)")) is None
+        assert unify(parse_term("f(X, X)"), parse_term("f(a, a)")) is not None
+
+    def test_extends_existing_substitution(self):
+        base = unify(Variable("X"), Constant("a"))
+        extended = unify(parse_term("f(X, Y)"), parse_term("f(a, b)"), base)
+        assert extended is not None
+        conflicting = unify(parse_term("f(X)"), parse_term("f(b)"), base)
+        assert conflicting is None
+
+    def test_variable_chain(self):
+        subst = unify(Variable("X"), Variable("Y"))
+        subst = unify(Variable("Y"), Constant("c"), subst)
+        assert subst.resolve(Variable("X")) == Constant("c")
+
+
+class TestSubstitution:
+    def test_immutable_bind(self):
+        empty = Substitution()
+        bound = empty.bind(Variable("X"), Constant("a"))
+        assert Variable("X") not in empty
+        assert Variable("X") in bound
+
+    def test_apply_recurses(self):
+        subst = unify(Variable("X"), Constant("a"))
+        term = parse_term("f(g(X), X)")
+        assert apply_substitution(term, subst) == parse_term("f(g(a), a)")
+
+
+class TestRenameVariables:
+    def test_suffix(self):
+        renamed = rename_variables(parse_term("f(X, g(Y))"), "_1")
+        assert renamed == parse_term("f(X_1, g(Y_1))")

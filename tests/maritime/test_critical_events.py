@@ -1,0 +1,169 @@
+"""Unit tests for the critical-event detector (AIS preprocessing)."""
+
+import pytest
+
+from repro.logic.parser import parse_term
+from repro.maritime.ais import AISMessage
+from repro.maritime.critical_events import CriticalEventDetector
+from repro.maritime.geometry import Geography, RectArea
+from repro.maritime.thresholds import DetectorSettings
+
+GEO = Geography([RectArea("a1", "fishing", 5.0, -1.0, 10.0, 1.0)])
+SETTINGS = DetectorSettings(
+    gap_seconds=600,
+    stopped_max=0.5,
+    low_max=5.0,
+    speed_delta=1.3,
+    heading_delta=15.0,
+    proximity_nm=0.1,
+)
+
+
+def _detector():
+    return CriticalEventDetector(GEO, SETTINGS)
+
+
+def _msg(time, vessel="v1", x=0.0, y=0.0, speed=8.0, course=90.0, heading=None):
+    if heading is None:
+        heading = course
+    return AISMessage(time, vessel, x, y, speed, course, heading)
+
+
+def _functors(detected, name):
+    return [
+        e.time for e in detected.events.events_in_window(name, 1, -1, 10**9)
+    ] + [e.time for e in detected.events.events_in_window(name, 2, -1, 10**9)]
+
+
+class TestVelocity:
+    def test_one_velocity_event_per_message(self):
+        detected = _detector().detect([_msg(0), _msg(10), _msg(20)])
+        events = list(detected.events.events_in_window("velocity", 4, -1, 100))
+        assert len(events) == 3
+
+    def test_velocity_carries_speed_course_heading(self):
+        detected = _detector().detect([_msg(0, speed=7.5, course=120.0, heading=110.0)])
+        (event,) = detected.events.events_at("velocity", 4, 0)
+        assert event.term == parse_term("velocity(v1, 7.5, 120.0, 110.0)")
+
+
+class TestStops:
+    def test_stop_start_and_end(self):
+        detected = _detector().detect(
+            [_msg(0, speed=5), _msg(10, speed=0.1), _msg(20, speed=0.2), _msg(30, speed=4)]
+        )
+        assert _functors(detected, "stop_start") == [10]
+        assert _functors(detected, "stop_end") == [30]
+
+    def test_initially_stopped_vessel(self):
+        detected = _detector().detect([_msg(0, speed=0.0), _msg(10, speed=0.0)])
+        assert _functors(detected, "stop_start") == [0]
+
+
+class TestSlowMotion:
+    def test_slow_motion_band(self):
+        detected = _detector().detect(
+            [_msg(0, speed=8), _msg(10, speed=3), _msg(20, speed=3), _msg(30, speed=8)]
+        )
+        assert _functors(detected, "slow_motion_start") == [10]
+        assert _functors(detected, "slow_motion_end") == [30]
+
+    def test_stopping_exits_slow_motion(self):
+        detected = _detector().detect([_msg(0, speed=3), _msg(10, speed=0.1)])
+        assert _functors(detected, "slow_motion_start") == [0]
+        assert _functors(detected, "slow_motion_end") == [10]
+        assert _functors(detected, "stop_start") == [10]
+
+
+class TestSpeedChanges:
+    def test_change_in_speed_start_end(self):
+        detected = _detector().detect(
+            [_msg(0, speed=8), _msg(10, speed=12), _msg(20, speed=12.2)]
+        )
+        assert _functors(detected, "change_in_speed_start") == [10]
+        assert _functors(detected, "change_in_speed_end") == [20]
+
+    def test_small_fluctuations_ignored(self):
+        detected = _detector().detect([_msg(0, speed=8), _msg(10, speed=8.5)])
+        assert not _functors(detected, "change_in_speed_start")
+
+
+class TestHeadingChanges:
+    def test_change_in_heading(self):
+        detected = _detector().detect(
+            [_msg(0, heading=90.0), _msg(10, heading=130.0), _msg(20, heading=131.0)]
+        )
+        assert _functors(detected, "change_in_heading") == [10]
+
+    def test_wraparound_heading(self):
+        detected = _detector().detect([_msg(0, heading=355.0), _msg(10, heading=15.0)])
+        assert _functors(detected, "change_in_heading") == [10]
+
+
+class TestGaps:
+    def test_gap_start_and_end(self):
+        detected = _detector().detect([_msg(0), _msg(10), _msg(2000)])
+        assert _functors(detected, "gap_start") == [10]
+        assert _functors(detected, "gap_end") == [2000]
+
+    def test_state_reset_after_gap(self):
+        # Stopped before the gap, stopped after: a fresh stop_start follows
+        # the gap so the stopped fluent (terminated at gap_start) restarts.
+        detected = _detector().detect(
+            [_msg(0, speed=0.1), _msg(10, speed=0.1), _msg(2000, speed=0.1)]
+        )
+        assert _functors(detected, "stop_start") == [0, 2000]
+
+
+class TestAreas:
+    def test_enters_and_leaves(self):
+        detected = _detector().detect(
+            [_msg(0, x=0), _msg(10, x=6), _msg(20, x=8), _msg(30, x=12)]
+        )
+        enters = list(detected.events.events_in_window("entersArea", 2, -1, 100))
+        leaves = list(detected.events.events_in_window("leavesArea", 2, -1, 100))
+        assert [e.time for e in enters] == [10]
+        assert [e.time for e in leaves] == [30]
+        assert enters[0].term == parse_term("entersArea(v1, a1)")
+
+    def test_reenter_after_gap(self):
+        detected = _detector().detect([_msg(0, x=6), _msg(2000, x=7)])
+        enters = list(detected.events.events_in_window("entersArea", 2, -1, 10**9))
+        assert [e.time for e in enters] == [0, 2000]
+
+
+class TestProximity:
+    def test_proximity_intervals(self):
+        messages = []
+        for t in range(0, 200, 10):
+            messages.append(_msg(t, vessel="a", x=0.0, y=0.0, speed=0.0))
+            # b approaches a: within 0.1nm from t=100 onwards.
+            messages.append(
+                _msg(t, vessel="b", x=2.0 - t * 0.01, y=0.0, speed=3.0)
+            )
+        detected = _detector().detect(messages)
+        intervals = detected.proximity.get(parse_term("proximity(a, b)=true"))
+        assert intervals
+        start = intervals.as_pairs()[0][0]
+        assert 180 <= start <= 200
+
+    def test_pairs_are_lexicographic(self):
+        messages = [
+            _msg(0, vessel="zeta", x=0, y=0),
+            _msg(0, vessel="alpha", x=0.01, y=0),
+            _msg(10, vessel="zeta", x=0, y=0),
+            _msg(10, vessel="alpha", x=0.01, y=0),
+        ]
+        detected = _detector().detect(messages)
+        assert parse_term("proximity(alpha, zeta)=true") in detected.proximity
+        assert parse_term("proximity(zeta, alpha)=true") not in detected.proximity
+
+    def test_no_proximity_for_distant_vessels(self):
+        messages = [
+            _msg(0, vessel="a", x=0, y=0),
+            _msg(0, vessel="b", x=5, y=5),
+            _msg(10, vessel="a", x=0, y=0),
+            _msg(10, vessel="b", x=5, y=5),
+        ]
+        detected = _detector().detect(messages)
+        assert len(detected.proximity) == 0

@@ -1,0 +1,75 @@
+"""Unit tests for the maritime geometry."""
+
+import pytest
+
+from repro.maritime.geometry import (
+    CircleArea,
+    Geography,
+    RectArea,
+    default_geography,
+    distance,
+)
+
+
+class TestAreas:
+    def test_rect_contains(self):
+        rect = RectArea("a", "fishing", 0, 0, 10, 5)
+        assert rect.contains(5, 2.5)
+        assert rect.contains(0, 0)  # boundary included
+        assert not rect.contains(11, 2)
+        assert not rect.contains(5, -0.1)
+
+    def test_degenerate_rect_rejected(self):
+        with pytest.raises(ValueError):
+            RectArea("a", "fishing", 0, 0, 0, 5)
+
+    def test_circle_contains(self):
+        circle = CircleArea("p", "nearPorts", 0, 0, 2)
+        assert circle.contains(1, 1)
+        assert circle.contains(2, 0)  # boundary included
+        assert not circle.contains(2, 2)
+
+    def test_non_positive_radius_rejected(self):
+        with pytest.raises(ValueError):
+            CircleArea("p", "nearPorts", 0, 0, 0)
+
+    def test_distance(self):
+        assert distance(0, 0, 3, 4) == 5
+
+
+class TestGeography:
+    def test_default_geography_has_expected_types(self):
+        geography = default_geography()
+        assert set(geography.area_types()) == {
+            "nearPorts",
+            "anchorage",
+            "fishing",
+            "natura",
+            "nearCoast",
+        }
+
+    def test_lookup_by_id(self):
+        geography = default_geography()
+        assert geography.area("fishingGulf").area_type == "fishing"
+        with pytest.raises(KeyError):
+            geography.area("atlantis")
+
+    def test_areas_of_type(self):
+        geography = default_geography()
+        assert len(geography.areas_of_type("nearPorts")) == 2
+
+    def test_areas_containing_point(self):
+        geography = default_geography()
+        inside_fishing = geography.areas_containing(12, 13)
+        ids = {area.area_id for area in inside_fishing}
+        assert "fishingGulf" in ids
+        assert "naturaMolene" in ids  # overlapping areas both reported
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Geography(
+                [
+                    RectArea("a", "fishing", 0, 0, 1, 1),
+                    RectArea("a", "anchorage", 2, 2, 3, 3),
+                ]
+            )

@@ -1,0 +1,78 @@
+"""Tests for the gold-standard event description."""
+
+import pytest
+
+from repro.maritime.gold import (
+    ACTIVITY_GROUPS,
+    ACTIVITY_SHORT_LABELS,
+    COMPOSITE_ACTIVITIES,
+    MARITIME_VOCABULARY,
+    activity_rules_text,
+    gold_event_description,
+)
+from repro.rtec.description import fluent_key, head_fvp
+
+
+class TestStructure:
+    def test_validates_cleanly(self, gold_description):
+        assert gold_description.validate(MARITIME_VOCABULARY) == []
+
+    def test_has_both_fluent_kinds(self, gold_description):
+        assert len(gold_description.simple_fluents) >= 10
+        assert len(gold_description.static_fluents) >= 7
+
+    def test_every_composite_activity_defined(self, gold_description):
+        defined = {key[0] for key in gold_description.defined_keys}
+        for activity in COMPOSITE_ACTIVITIES:
+            assert activity in defined, activity
+
+    def test_hierarchy_is_acyclic(self, gold_description):
+        order = gold_description.topological_order()
+        assert order.index(("movingSpeed", 1)) < order.index(("underWay", 1))
+        assert order.index(("underWay", 1)) < order.index(("drifting", 1))
+        assert order.index(("anchoredOrMoored", 1)) < order.index(("loitering", 1))
+
+    def test_short_labels_cover_composites(self):
+        assert set(ACTIVITY_SHORT_LABELS) == set(COMPOSITE_ACTIVITIES)
+
+
+class TestGroups:
+    def test_group_order_is_generation_order(self):
+        names = [group.name for group in ACTIVITY_GROUPS]
+        # Support fluents come before the composite activities using them.
+        assert names.index("stopped") < names.index("anchoredOrMoored")
+        assert names.index("movingSpeed") < names.index("underWay")
+        assert names.index("pilotBoarding") < names.index("loitering")
+
+    def test_headline_fluent_is_last(self):
+        for group in ACTIVITY_GROUPS:
+            rules = gold_event_description().rules
+            headline = group.fluents[-1][0]
+            assert any(
+                fluent_key(head_fvp(rule)[0])[0] == headline
+                for rule in rules
+            ), group.name
+
+    def test_descriptions_are_prose(self):
+        for group in ACTIVITY_GROUPS:
+            assert len(group.description) > 40
+            assert ":" in group.description
+
+    def test_activity_rules_text_lookup(self):
+        assert "holdsFor(trawling(Vessel)=true, I)" in activity_rules_text("trawling")
+        with pytest.raises(KeyError):
+            activity_rules_text("piracy")
+
+    def test_group_fluents_match_rules(self, gold_description):
+        for group in ACTIVITY_GROUPS:
+            from repro.logic.parser import parse_program
+
+            heads = {
+                fluent_key(head_fvp(rule)[0]) for rule in parse_program(group.rules_text)
+            }
+            assert heads == set(group.fluents), group.name
+
+    def test_vocabulary_speaks_only_declared_events(self, gold_description):
+        # Every happensAt condition in the gold rules uses a declared event.
+        issues = gold_description.validate(MARITIME_VOCABULARY)
+        assert not [i for i in issues if i.category == "undefined-event"]

@@ -1,0 +1,87 @@
+"""Tests for AIS/result import-export."""
+
+import pytest
+
+from repro.intervals import IntervalList
+from repro.logic.parser import parse_term
+from repro.maritime.ais import AISMessage
+from repro.maritime.io import (
+    read_ais_csv,
+    read_result_jsonl,
+    write_ais_csv,
+    write_result_jsonl,
+)
+from repro.rtec.result import RecognitionResult
+
+
+@pytest.fixture
+def messages():
+    return [
+        AISMessage(0, "v1", 0.0, 0.0, 8.5, 90.0, 90.0),
+        AISMessage(10, "v1", 0.02, 0.0, 8.5, 90.0, 92.0),
+        AISMessage(5, "v2", 3.0, 2.0, 0.1, 0.0, 0.0),
+    ]
+
+
+class TestAisCsv:
+    def test_round_trip(self, tmp_path, messages):
+        path = tmp_path / "ais.csv"
+        assert write_ais_csv(messages, path) == 3
+        loaded = read_ais_csv(path)
+        assert loaded == sorted(messages)
+
+    def test_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,vessel,x,y\n0,v1,0,0\n")
+        with pytest.raises(ValueError, match="missing required columns"):
+            read_ais_csv(path)
+
+    def test_malformed_row_reports_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "time,vessel,x,y,speed,course,heading\n"
+            "0,v1,0,0,8.5,90,90\n"
+            "oops,v1,0,0,8.5,90,90\n"
+        )
+        with pytest.raises(ValueError, match="line 3"):
+            read_ais_csv(path)
+
+    def test_dataset_round_trip(self, tmp_path, small_dataset):
+        path = tmp_path / "fleet.csv"
+        write_ais_csv(small_dataset.messages, path)
+        loaded = read_ais_csv(path)
+        assert loaded == sorted(small_dataset.messages)
+
+
+class TestResultJsonl:
+    def test_round_trip(self, tmp_path):
+        result = RecognitionResult()
+        result.merge(parse_term("trawling(v1)=true"), IntervalList([(10, 20), (30, 35)]))
+        result.merge(parse_term("stopped(v2)=nearPorts"), IntervalList([(1, 4)]))
+        path = tmp_path / "result.jsonl"
+        assert write_result_jsonl(result, path) == 2
+        loaded = read_result_jsonl(path)
+        assert loaded.holds_for("trawling(v1)=true") == result.holds_for("trawling(v1)=true")
+        assert loaded.holds_for("stopped(v2)=nearPorts") == result.holds_for(
+            "stopped(v2)=nearPorts"
+        )
+
+    def test_bad_record_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"fvp": "trawling(v1)=true", "intervals": [[10, 20]]}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            read_result_jsonl(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "sparse.jsonl"
+        path.write_text('\n{"fvp": "f(v1)=true", "intervals": [[1, 2]]}\n\n')
+        loaded = read_result_jsonl(path)
+        assert loaded.holds_for("f(v1)=true").as_pairs() == [(1, 2)]
+
+    def test_gold_recognition_round_trip(self, tmp_path, gold_recognition):
+        path = tmp_path / "gold.jsonl"
+        count = write_result_jsonl(gold_recognition, path)
+        assert count == len(gold_recognition)
+        loaded = read_result_jsonl(path)
+        for pair in gold_recognition.fvps():
+            assert loaded.holds_for(pair) == gold_recognition.holds_for(pair)

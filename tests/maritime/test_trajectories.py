@@ -1,0 +1,119 @@
+"""Unit tests for the trajectory simulator."""
+
+import math
+import random
+
+import pytest
+
+from repro.maritime.ais import Vessel
+from repro.maritime.trajectories import Phase, leg_towards, simulate_vessel
+
+
+def _simulate(phases, **kwargs):
+    rng = random.Random(0)
+    return simulate_vessel(Vessel("v1", "cargo"), phases, rng, **kwargs)
+
+
+class TestPhaseValidation:
+    def test_positive_duration(self):
+        with pytest.raises(ValueError):
+            Phase(duration=0, speed=5, course=90)
+
+    def test_positive_period(self):
+        with pytest.raises(ValueError):
+            Phase(duration=10, speed=5, course=90, period=0)
+
+
+class TestSimulation:
+    def test_reporting_period(self):
+        messages = _simulate([Phase(duration=60, speed=10, course=90, period=10)])
+        assert [m.time for m in messages] == [0, 10, 20, 30, 40, 50]
+
+    def test_speed_and_heading_reported(self):
+        messages = _simulate([Phase(duration=30, speed=10, course=90, period=10)])
+        assert all(m.speed == 10 for m in messages)
+        assert all(m.heading == 90 for m in messages)
+
+    def test_eastward_motion(self):
+        # Course 90 = east: x grows, y constant (nautical convention).
+        messages = _simulate([Phase(duration=3600, speed=10, course=90, period=600)])
+        assert messages[-1].x == pytest.approx(10 * 3000 / 3600, rel=0.05)
+        assert messages[-1].y == pytest.approx(0, abs=1e-9)
+
+    def test_northward_motion(self):
+        messages = _simulate([Phase(duration=3600, speed=6, course=0, period=600)])
+        assert messages[-1].y > 4.5
+        assert messages[-1].x == pytest.approx(0, abs=1e-9)
+
+    def test_stop_phase_holds_position(self):
+        messages = _simulate([Phase(duration=100, speed=0, course=0, period=20)])
+        assert all(m.x == 0 and m.y == 0 for m in messages)
+
+    def test_silent_phase_emits_nothing(self):
+        messages = _simulate(
+            [
+                Phase(duration=60, speed=5, course=0, period=10),
+                Phase(duration=60, speed=5, course=0, period=10, transmit=False),
+                Phase(duration=60, speed=5, course=0, period=10),
+            ]
+        )
+        times = [m.time for m in messages]
+        assert not any(60 <= t < 120 for t in times)
+        assert any(t >= 120 for t in times)
+
+    def test_heading_offset_separates_heading_from_course(self):
+        messages = _simulate(
+            [Phase(duration=60, speed=5, course=90, period=10, heading_offset=60)]
+        )
+        assert all(m.course == 90 and m.heading == 150 for m in messages)
+
+    def test_zigzag_alternates_course(self):
+        messages = _simulate(
+            [
+                Phase(
+                    duration=1200,
+                    speed=5,
+                    course=0,
+                    period=30,
+                    zigzag_amplitude=40,
+                    zigzag_period=300,
+                )
+            ]
+        )
+        courses = {m.course for m in messages}
+        assert courses == {40.0, 320.0}
+
+    def test_start_offsets(self):
+        messages = _simulate(
+            [Phase(duration=30, speed=0, course=0, period=10)],
+            start_time=500,
+            start_x=3.0,
+            start_y=-2.0,
+        )
+        assert messages[0].time == 500
+        assert messages[0].x == 3.0 and messages[0].y == -2.0
+
+    def test_speed_jitter_is_seeded(self):
+        phases = [Phase(duration=120, speed=5, course=0, period=10, speed_jitter=1.0)]
+        first = simulate_vessel(Vessel("v1", "cargo"), phases, random.Random(42))
+        second = simulate_vessel(Vessel("v1", "cargo"), phases, random.Random(42))
+        assert first == second
+
+
+class TestLegTowards:
+    def test_duration_matches_distance(self):
+        leg = leg_towards(0, 0, 10, 0, speed=10)
+        assert leg.duration == pytest.approx(3600, rel=0.01)
+        assert leg.course == pytest.approx(90)
+
+    def test_course_north(self):
+        assert leg_towards(0, 0, 0, 5, speed=5).course == pytest.approx(0)
+
+    def test_zero_leg_rejected(self):
+        with pytest.raises(ValueError):
+            leg_towards(1, 1, 1, 1, speed=5)
+
+    def test_arrives_near_target(self):
+        leg = leg_towards(0, 0, 3, 4, speed=10, period=10)
+        messages = _simulate([leg])
+        assert math.hypot(messages[-1].x - 3, messages[-1].y - 4) < 0.1

@@ -1,0 +1,88 @@
+"""Unit tests for arithmetic built-ins and comparisons."""
+
+import pytest
+
+from repro.logic.parser import parse_term
+from repro.logic.terms import Constant, Variable
+from repro.logic.unification import Substitution, unify
+from repro.rtec.builtins import evaluate_arithmetic, evaluate_comparison, is_comparison
+from repro.rtec.errors import EvaluationError
+
+
+def _subst(**bindings):
+    subst = Substitution()
+    for name, value in bindings.items():
+        subst = subst.bind(Variable(name), Constant(value))
+    return subst
+
+
+class TestIsComparison:
+    def test_detects_operators(self):
+        for op in ("<", ">", "=<", ">=", "=:=", "=\\="):
+            assert is_comparison(parse_term("X %s 1" % op))
+
+    def test_rejects_other_terms(self):
+        assert not is_comparison(parse_term("f(X)"))
+        assert not is_comparison(parse_term("X=1"))
+
+
+class TestArithmetic:
+    def test_constants(self):
+        assert evaluate_arithmetic(Constant(3), Substitution()) == 3
+
+    def test_bound_variable(self):
+        assert evaluate_arithmetic(Variable("X"), _subst(X=2.5)) == 2.5
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate_arithmetic(Variable("X"), Substitution())
+
+    def test_non_numeric_constant_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate_arithmetic(Constant("fishing"), Substitution())
+
+    def test_functions(self):
+        assert evaluate_arithmetic(parse_term("plus(1, 2)"), Substitution()) == 3
+        assert evaluate_arithmetic(parse_term("minus(5, 2)"), Substitution()) == 3
+        assert evaluate_arithmetic(parse_term("times(4, 2)"), Substitution()) == 8
+        assert evaluate_arithmetic(parse_term("div(9, 2)"), Substitution()) == 4.5
+        assert evaluate_arithmetic(parse_term("abs(minus(2, 5))"), Substitution()) == 3
+        assert evaluate_arithmetic(parse_term("min(3, 7)"), Substitution()) == 3
+        assert evaluate_arithmetic(parse_term("max(3, 7)"), Substitution()) == 7
+
+    def test_angle_diff_wraps_around(self):
+        assert evaluate_arithmetic(parse_term("angleDiff(350, 10)"), Substitution()) == 20
+        assert evaluate_arithmetic(parse_term("angleDiff(90, 270)"), Substitution()) == 180
+        assert evaluate_arithmetic(parse_term("angleDiff(45, 45)"), Substitution()) == 0
+
+    def test_unknown_functor_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate_arithmetic(parse_term("cosine(1)"), Substitution())
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate_arithmetic(parse_term("div(1, 0)"), Substitution())
+
+
+class TestComparison:
+    def test_ordering_operators(self):
+        assert evaluate_comparison(parse_term("1 < 2"), Substitution())
+        assert not evaluate_comparison(parse_term("2 < 1"), Substitution())
+        assert evaluate_comparison(parse_term("2 =< 2"), Substitution())
+        assert evaluate_comparison(parse_term("3 >= 2"), Substitution())
+        assert evaluate_comparison(parse_term("3 > 2"), Substitution())
+
+    def test_equality_operators(self):
+        assert evaluate_comparison(parse_term("2 =:= 2.0"), Substitution())
+        assert evaluate_comparison(parse_term("2 =\\= 3"), Substitution())
+
+    def test_with_bindings(self):
+        subst = _subst(Speed=7.5, Max=5.0)
+        assert evaluate_comparison(parse_term("Speed > Max"), subst)
+
+    def test_nested_expression(self):
+        assert evaluate_comparison(parse_term("angleDiff(100, 160) > 45"), Substitution())
+
+    def test_not_a_comparison_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate_comparison(parse_term("f(X)"), Substitution())

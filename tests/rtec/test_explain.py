@@ -1,0 +1,102 @@
+"""Tests for the explanation facility."""
+
+import pytest
+
+from repro.logic.knowledge import KnowledgeBase
+from repro.logic.parser import parse_term
+from repro.rtec import Event, EventDescription, EventStream
+from repro.rtec.explain import explain, format_explanation
+from repro.rtec.reference import ReferenceEvaluator
+
+RULES = """
+initiatedAt(f(V)=true, T) :- happensAt(start(V), T).
+terminatedAt(f(V)=true, T) :- happensAt(stop(V), T).
+
+initiatedAt(pulse(V)=true, T) :- happensAt(ping(V), T).
+maxDuration(pulse(V)=true, 5).
+
+initially(f(v0)=true).
+
+holdsFor(g(V)=true, I) :-
+    holdsFor(f(V)=true, I1),
+    holdsFor(pulse(V)=true, I2),
+    intersect_all([I1, I2], I).
+"""
+
+
+@pytest.fixture
+def evaluator():
+    description = EventDescription.from_text(RULES)
+    stream = EventStream(
+        [
+            Event(2, parse_term("start(v1)")),
+            Event(10, parse_term("stop(v1)")),
+            Event(4, parse_term("ping(v1)")),
+        ]
+    )
+    return ReferenceEvaluator(description, KnowledgeBase(), stream)
+
+
+class TestSimpleExplanations:
+    def test_positive_explanation(self, evaluator):
+        node = explain(evaluator, "f(v1)=true", 5)
+        assert node.holds
+        assert any("initiation at 2" in child.statement for child in node.children)
+
+    def test_broken_period(self, evaluator):
+        node = explain(evaluator, "f(v1)=true", 15)
+        assert not node.holds
+        assert any("broken at 10" in child.statement for child in node.children)
+
+    def test_never_initiated(self, evaluator):
+        node = explain(evaluator, "f(v9)=true", 5)
+        assert not node.holds
+        assert any("no initiation" in child.statement for child in node.children)
+
+    def test_too_early(self, evaluator):
+        node = explain(evaluator, "f(v1)=true", 1)
+        assert not node.holds
+        assert any("first initiation fires at 2" in c.statement for c in node.children)
+
+    def test_deadline_expiry(self, evaluator):
+        node = explain(evaluator, "pulse(v1)=true", 12)
+        assert not node.holds
+        assert any("deadline 9" in child.statement for child in node.children)
+
+    def test_initially_support(self, evaluator):
+        node = explain(evaluator, "f(v0)=true", 3)
+        assert node.holds
+        assert any("initially declaration" in c.statement for c in node.children)
+
+
+class TestStaticExplanations:
+    def test_conjunction_breakdown(self, evaluator):
+        node = explain(evaluator, "g(v1)=true", 5)
+        assert node.holds
+        # Both conditions appear as sub-explanations.
+        statements = [child.statement for child in node.children]
+        assert any("f(v1)=true" in s for s in statements)
+        assert any("pulse(v1)=true" in s for s in statements)
+
+    def test_failing_condition_visible(self, evaluator):
+        node = explain(evaluator, "g(v1)=true", 11)
+        assert not node.holds
+        failing = [c for c in node.children if not c.holds]
+        assert failing
+
+
+class TestFormatting:
+    def test_tree_rendering(self, evaluator):
+        text = format_explanation(explain(evaluator, "g(v1)=true", 5))
+        lines = text.splitlines()
+        assert lines[0].startswith("+ holdsAt(g(v1)=true, 5)")
+        assert any(line.startswith("  ") for line in lines[1:])
+
+    def test_rejects_non_ground(self, evaluator):
+        with pytest.raises(ValueError):
+            explain(evaluator, "f(V)=true", 5)
+
+    def test_unknown_fluent(self, evaluator):
+        node = explain(evaluator, "unknown(v1)=true", 5)
+        assert not node.holds
+        assert "not defined" in node.statement

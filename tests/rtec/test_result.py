@@ -1,0 +1,63 @@
+"""Unit tests for recognition results."""
+
+import pytest
+
+from repro.intervals import IntervalList
+from repro.logic.parser import parse_term
+from repro.rtec import RecognitionResult
+
+
+@pytest.fixture
+def result():
+    recognition = RecognitionResult()
+    recognition.merge(parse_term("trawling(v1)=true"), IntervalList([(10, 20)]))
+    recognition.merge(parse_term("trawling(v2)=true"), IntervalList([(5, 8)]))
+    recognition.merge(parse_term("stopped(v1)=nearPorts"), IntervalList([(1, 4)]))
+    return recognition
+
+
+class TestQueries:
+    def test_holds_for_accepts_strings(self, result):
+        assert result.holds_for("trawling(v1)=true").as_pairs() == [(10, 20)]
+
+    def test_holds_for_accepts_terms(self, result):
+        assert result.holds_for(parse_term("trawling(v2)=true")).as_pairs() == [(5, 8)]
+
+    def test_missing_fvp_is_empty(self, result):
+        assert not result.holds_for("trawling(v9)=true")
+
+    def test_holds_at(self, result):
+        assert result.holds_at("trawling(v1)=true", 15)
+        assert not result.holds_at("trawling(v1)=true", 25)
+
+    def test_rejects_non_fvp(self, result):
+        with pytest.raises(ValueError):
+            result.holds_for("trawling(v1)")
+
+    def test_instances_by_schema(self, result):
+        instances = dict(result.instances("trawling"))
+        assert len(instances) == 2
+
+    def test_instances_with_arity_filter(self, result):
+        assert not list(result.instances("trawling", arity=2))
+
+    def test_activity_duration_sums_instances(self, result):
+        assert result.activity_duration("trawling") == 11 + 4
+
+    def test_contains(self, result):
+        assert "trawling(v1)=true" in result
+        assert "trawling(v9)=true" not in result
+
+
+class TestMerge:
+    def test_merge_unions_intervals(self):
+        recognition = RecognitionResult()
+        pair = parse_term("f(v1)=true")
+        recognition.merge(pair, IntervalList([(1, 5)]))
+        recognition.merge(pair, IntervalList([(4, 9)]))
+        assert recognition.holds_for(pair).as_pairs() == [(1, 9)]
+
+    def test_merge_empty_is_noop(self):
+        recognition = RecognitionResult()
+        recognition.merge(parse_term("f(v1)=true"), IntervalList())
+        assert len(recognition) == 0

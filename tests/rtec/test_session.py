@@ -1,0 +1,128 @@
+"""Tests for online recognition sessions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.intervals import IntervalList
+from repro.logic.parser import parse_term
+from repro.rtec import Event, EventDescription, EventStream, RTECEngine
+from repro.rtec.session import RTECSession
+
+RULES = """
+initiatedAt(f(V)=true, T) :- happensAt(start(V), T).
+terminatedAt(f(V)=true, T) :- happensAt(stop(V), T).
+
+holdsFor(g(V)=true, I) :-
+    holdsFor(f(V)=true, I1),
+    union_all([I1], I).
+"""
+
+
+def _engine():
+    return RTECEngine(EventDescription.from_text(RULES), strict=False)
+
+
+def _event(t, text):
+    return Event(t, parse_term(text))
+
+
+class TestSessionBasics:
+    def test_requires_positive_window(self):
+        with pytest.raises(ValueError):
+            RTECSession(_engine(), window=0)
+
+    def test_incremental_detection(self):
+        session = RTECSession(_engine(), window=20)
+        session.submit([_event(5, "start(v1)")])
+        session.advance(10)
+        assert session.holds_for("f(v1)=true").as_pairs() == [(6, 10)]
+        session.submit([_event(15, "stop(v1)")])
+        session.advance(20)
+        assert session.holds_for("f(v1)=true").as_pairs() == [(6, 15)]
+        assert session.holds_for("g(v1)=true").as_pairs() == [(6, 15)]
+
+    def test_inertia_across_many_advances(self):
+        session = RTECSession(_engine(), window=10)
+        # t=1 falls inside the first window (0, 10]; an event at t=0 would
+        # be legitimately forgotten (outside every window).
+        session.submit([_event(1, "start(v1)")])
+        for query_time in range(10, 101, 10):
+            session.advance(query_time)
+        assert session.holds_for("f(v1)=true").as_pairs() == [(2, 100)]
+
+    def test_event_outside_every_window_is_forgotten(self):
+        session = RTECSession(_engine(), window=10)
+        session.submit([_event(0, "start(v1)")])
+        session.advance(10)  # window (0, 10] excludes t=0
+        assert not session.holds_for("f(v1)=true")
+
+    def test_forgetting_bounds_the_buffer(self):
+        session = RTECSession(_engine(), window=10)
+        session.submit([_event(t, "start(v%d)" % t) for t in range(0, 100, 2)])
+        session.advance(100)
+        assert session.buffered_events <= 5  # only events in (90, 100]
+
+    def test_late_events_are_dropped(self):
+        session = RTECSession(_engine(), window=10)
+        session.advance(50)
+        accepted = session.submit([_event(5, "start(v1)")])
+        assert accepted == 0
+        session.advance(60)
+        assert not session.holds_for("f(v1)=true")
+
+    def test_query_times_must_be_monotonic(self):
+        session = RTECSession(_engine(), window=10)
+        session.advance(50)
+        with pytest.raises(ValueError):
+            session.advance(40)
+
+    def test_input_fluents(self):
+        rules = RULES + """
+        holdsFor(h(V, W)=true, I) :-
+            holdsFor(p(V, W)=true, Ip),
+            holdsFor(f(V)=true, If),
+            intersect_all([Ip, If], I).
+        """
+        session = RTECSession(
+            RTECEngine(EventDescription.from_text(rules), strict=False), window=50
+        )
+        session.submit([_event(5, "start(v1)"), _event(30, "stop(v1)")])
+        session.submit_fluent(parse_term("p(v1, v2)=true"), IntervalList([(10, 40)]))
+        session.advance(50)
+        assert session.holds_for("h(v1, v2)=true").as_pairs() == [(10, 30)]
+
+
+class TestSessionEquivalence:
+    _streams = st.lists(
+        st.tuples(
+            st.integers(0, 80),
+            st.sampled_from(("start", "stop")),
+            st.sampled_from(("v1", "v2")),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+
+    @given(raw=_streams, window=st.integers(5, 100), step=st.integers(1, 5))
+    @settings(max_examples=80, deadline=None)
+    def test_session_matches_batch_recognition(self, raw, window, step):
+        events = [_event(t, "%s(%s)" % (name, vessel)) for t, name, vessel in raw]
+        stream = EventStream(events)
+        start, end = stream.min_time, stream.max_time
+        batch_engine = _engine()
+        # Batch run with the same query times the session will use.
+        batch = batch_engine.recognise(stream, window=window, step=step)
+
+        session = RTECSession(_engine(), window=window)
+        session.submit(events)
+        query_time = min(start - 1 + step, end)
+        while True:
+            session.advance(query_time)
+            if query_time >= end:
+                break
+            query_time = min(query_time + step, end)
+
+        assert sorted(map(repr, batch.fvps())) == sorted(map(repr, session.result.fvps()))
+        for pair in batch.fvps():
+            assert session.holds_for(pair) == batch.holds_for(pair), pair

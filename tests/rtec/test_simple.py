@@ -1,0 +1,180 @@
+"""Behavioural tests for simple fluents: inertia, negation, exclusivity."""
+
+import pytest
+
+from repro.logic.knowledge import KnowledgeBase
+from repro.logic.parser import parse_term
+from repro.rtec import Event, EventDescription, EventStream, RTECEngine
+
+
+def _stream(*events):
+    return EventStream([Event(t, parse_term(text)) for t, text in events])
+
+
+def _run(rules, events, kb_text="", **kwargs):
+    engine = RTECEngine(
+        EventDescription.from_text(rules),
+        KnowledgeBase.from_text(kb_text) if kb_text else None,
+        strict=False,
+    )
+    return engine.recognise(_stream(*events), **kwargs)
+
+
+BASIC = """
+initiatedAt(f(V)=true, T) :- happensAt(start(V), T).
+terminatedAt(f(V)=true, T) :- happensAt(stop(V), T).
+"""
+
+
+class TestInertia:
+    def test_holds_between_initiation_and_termination(self):
+        result = _run(BASIC, [(3, "start(v1)"), (9, "stop(v1)")])
+        assert result.holds_for("f(v1)=true").as_pairs() == [(4, 9)]
+
+    def test_persists_until_stream_end_without_termination(self):
+        result = _run(BASIC, [(3, "start(v1)"), (20, "start(v2)")])
+        assert result.holds_for("f(v1)=true").as_pairs() == [(4, 20)]
+
+    def test_independent_instances(self):
+        result = _run(
+            BASIC,
+            [(1, "start(v1)"), (2, "start(v2)"), (5, "stop(v1)"), (9, "stop(v2)")],
+        )
+        assert result.holds_for("f(v1)=true").as_pairs() == [(2, 5)]
+        assert result.holds_for("f(v2)=true").as_pairs() == [(3, 9)]
+
+    def test_repeated_initiations_ignored(self):
+        result = _run(BASIC, [(1, "start(v1)"), (3, "start(v1)"), (7, "stop(v1)")])
+        assert result.holds_for("f(v1)=true").as_pairs() == [(2, 7)]
+
+    def test_termination_without_initiation_is_noop(self):
+        result = _run(BASIC, [(5, "stop(v1)")])
+        assert not result.holds_for("f(v1)=true")
+
+
+class TestBodyConditions:
+    def test_second_happens_at_same_timepoint(self):
+        rules = """
+        initiatedAt(f(V)=true, T) :-
+            happensAt(start(V), T),
+            happensAt(confirm(V), T).
+        """
+        result = _run(
+            rules,
+            [(3, "start(v1)"), (5, "start(v2)"), (5, "confirm(v2)"), (9, "noise(x)")],
+        )
+        assert not result.holds_for("f(v1)=true")
+        assert result.holds_for("f(v2)=true")
+
+    def test_negated_happens_at(self):
+        rules = """
+        initiatedAt(f(V)=true, T) :-
+            happensAt(start(V), T),
+            not happensAt(veto(V), T).
+        """
+        result = _run(
+            rules,
+            [(3, "start(v1)"), (3, "veto(v1)"), (8, "start(v2)"), (12, "noise(x)")],
+        )
+        assert not result.holds_for("f(v1)=true")
+        assert result.holds_for("f(v2)=true").as_pairs() == [(9, 12)]
+
+    def test_holds_at_condition_uses_lower_fluent(self):
+        rules = BASIC + """
+        initiatedAt(g(V)=true, T) :-
+            happensAt(ping(V), T),
+            holdsAt(f(V)=true, T).
+        terminatedAt(g(V)=true, T) :- happensAt(stop(V), T).
+        """
+        result = _run(
+            rules,
+            [(1, "ping(v1)"), (3, "start(v1)"), (6, "ping(v1)"), (10, "stop(v1)")],
+        )
+        # Only the ping at 6 falls inside f's interval (3, ...].
+        assert result.holds_for("g(v1)=true").as_pairs() == [(7, 10)]
+
+    def test_negated_holds_at(self):
+        rules = BASIC + """
+        initiatedAt(g(V)=true, T) :-
+            happensAt(ping(V), T),
+            not holdsAt(f(V)=true, T).
+        """
+        result = _run(rules, [(2, "start(v1)"), (6, "ping(v1)"), (9, "noise(x)")])
+        assert not result.holds_for("g(v1)=true")
+        result = _run(rules, [(6, "ping(v1)"), (9, "noise(x)")])
+        assert result.holds_for("g(v1)=true").as_pairs() == [(7, 9)]
+
+    def test_background_and_comparison(self):
+        rules = """
+        initiatedAt(fast(V)=true, T) :-
+            happensAt(velocity(V, Speed), T),
+            thresholds(maxSpeed, Max),
+            Speed > Max.
+        terminatedAt(fast(V)=true, T) :-
+            happensAt(velocity(V, Speed), T),
+            thresholds(maxSpeed, Max),
+            Speed =< Max.
+        """
+        result = _run(
+            rules,
+            [(1, "velocity(v1, 10)"), (5, "velocity(v1, 20)"), (9, "velocity(v1, 3)")],
+            kb_text="thresholds(maxSpeed, 15).",
+        )
+        assert result.holds_for("fast(v1)=true").as_pairs() == [(6, 9)]
+
+    def test_negated_background(self):
+        rules = """
+        initiatedAt(f(V)=true, T) :-
+            happensAt(start(V), T),
+            not special(V).
+        """
+        result = _run(
+            rules,
+            [(1, "start(v1)"), (1, "start(v2)"), (5, "noise(x)")],
+            kb_text="special(v1).",
+        )
+        assert not result.holds_for("f(v1)=true")
+        assert result.holds_for("f(v2)=true")
+
+
+class TestValueExclusivity:
+    RULES = """
+    initiatedAt(speed(V)=low, T) :- happensAt(slow(V), T).
+    initiatedAt(speed(V)=high, T) :- happensAt(fast(V), T).
+    """
+
+    def test_initiating_other_value_terminates(self):
+        result = _run(self.RULES, [(1, "slow(v1)"), (5, "fast(v1)"), (9, "slow(v1)")])
+        # low is cut at 5 by the initiation of high; the re-initiation of
+        # low at the stream end (query time 9) has no visible points yet.
+        assert result.holds_for("speed(v1)=low").as_pairs() == [(2, 5)]
+        assert result.holds_for("speed(v1)=high").as_pairs() == [(6, 9)]
+
+    def test_values_never_overlap(self):
+        result = _run(self.RULES, [(1, "slow(v1)"), (5, "fast(v1)")])
+        low = result.holds_for("speed(v1)=low")
+        high = result.holds_for("speed(v1)=high")
+        assert not set(low.points()) & set(high.points())
+
+
+class TestUniversalTermination:
+    RULES = """
+    initiatedAt(within(V, A)=true, T) :- happensAt(enter(V, A), T).
+    terminatedAt(within(V, A)=true, T) :- happensAt(gap(V), T).
+    """
+
+    def test_non_ground_termination_hits_all_instances(self):
+        result = _run(
+            self.RULES,
+            [(1, "enter(v1, a1)"), (2, "enter(v1, a2)"), (6, "gap(v1)")],
+        )
+        assert result.holds_for("within(v1, a1)=true").as_pairs() == [(2, 6)]
+        assert result.holds_for("within(v1, a2)=true").as_pairs() == [(3, 6)]
+
+    def test_other_vessels_unaffected(self):
+        result = _run(
+            self.RULES,
+            [(1, "enter(v1, a1)"), (1, "enter(v2, a1)"), (6, "gap(v1)")],
+        )
+        assert result.holds_for("within(v1, a1)=true").as_pairs() == [(2, 6)]
+        assert result.holds_for("within(v2, a1)=true").as_pairs() == [(2, 6)]

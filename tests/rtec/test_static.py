@@ -1,0 +1,171 @@
+"""Behavioural tests for statically determined fluents."""
+
+import pytest
+
+from repro.logic.knowledge import KnowledgeBase
+from repro.logic.parser import parse_term
+from repro.rtec import Event, EventDescription, EventStream, InputFluents, RTECEngine
+from repro.intervals import IntervalList
+
+
+def _stream(*events):
+    return EventStream([Event(t, parse_term(text)) for t, text in events])
+
+
+def _input_fluents(**kwargs):
+    fluents = InputFluents()
+    for text, pairs in kwargs.items():
+        pass
+    return fluents
+
+
+def _run(rules, events, kb_text="", input_fluents=None):
+    engine = RTECEngine(
+        EventDescription.from_text(rules),
+        KnowledgeBase.from_text(kb_text) if kb_text else None,
+        strict=False,
+    )
+    return engine.recognise(_stream(*events), input_fluents=input_fluents)
+
+
+SPEED = """
+initiatedAt(speed(V)=low, T) :- happensAt(slow(V), T).
+initiatedAt(speed(V)=high, T) :- happensAt(fast(V), T).
+terminatedAt(speed(V)=low, T) :- happensAt(halt(V), T).
+terminatedAt(speed(V)=high, T) :- happensAt(halt(V), T).
+"""
+
+
+class TestUnion:
+    def test_union_of_values(self):
+        rules = SPEED + """
+        holdsFor(moving(V)=true, I) :-
+            holdsFor(speed(V)=low, I1),
+            holdsFor(speed(V)=high, I2),
+            union_all([I1, I2], I).
+        """
+        result = _run(rules, [(1, "slow(v1)"), (5, "fast(v1)"), (9, "halt(v1)")])
+        assert result.holds_for("moving(v1)=true").as_pairs() == [(2, 9)]
+
+    def test_union_when_one_value_never_holds(self):
+        rules = SPEED + """
+        holdsFor(moving(V)=true, I) :-
+            holdsFor(speed(V)=low, I1),
+            holdsFor(speed(V)=high, I2),
+            union_all([I1, I2], I).
+        """
+        result = _run(rules, [(1, "slow(v1)"), (9, "halt(v1)")])
+        assert result.holds_for("moving(v1)=true").as_pairs() == [(2, 9)]
+
+
+class TestIntersection:
+    RULES = SPEED + """
+    initiatedAt(inside(V)=true, T) :- happensAt(enter(V), T).
+    terminatedAt(inside(V)=true, T) :- happensAt(leave(V), T).
+    holdsFor(lowInside(V)=true, I) :-
+        holdsFor(speed(V)=low, I1),
+        holdsFor(inside(V)=true, I2),
+        intersect_all([I1, I2], I).
+    """
+
+    def test_intersection(self):
+        result = _run(
+            self.RULES,
+            [(1, "slow(v1)"), (4, "enter(v1)"), (8, "leave(v1)"), (12, "halt(v1)")],
+        )
+        assert result.holds_for("lowInside(v1)=true").as_pairs() == [(5, 8)]
+
+    def test_empty_intersection_not_recorded(self):
+        result = _run(self.RULES, [(1, "slow(v1)"), (9, "halt(v1)")])
+        assert not result.holds_for("lowInside(v1)=true")
+        assert parse_term("lowInside(v1)=true") not in result.fvps()
+
+
+class TestRelativeComplement:
+    RULES = SPEED + """
+    initiatedAt(excused(V)=true, T) :- happensAt(excuse(V), T).
+    terminatedAt(excused(V)=true, T) :- happensAt(unexcuse(V), T).
+    holdsFor(violation(V)=true, I) :-
+        holdsFor(speed(V)=high, Ih),
+        holdsFor(excused(V)=true, Ie),
+        relative_complement_all(Ih, [Ie], I).
+    """
+
+    def test_complement(self):
+        result = _run(
+            self.RULES,
+            [(1, "fast(v1)"), (4, "excuse(v1)"), (7, "unexcuse(v1)"), (12, "halt(v1)")],
+        )
+        assert result.holds_for("violation(v1)=true").as_pairs() == [(2, 4), (8, 12)]
+
+    def test_complement_with_no_excuse_is_identity(self):
+        result = _run(self.RULES, [(1, "fast(v1)"), (12, "halt(v1)")])
+        assert result.holds_for("violation(v1)=true").as_pairs() == [(2, 12)]
+
+
+class TestGroundingSemantics:
+    def test_vessel_with_only_second_fluent_still_computed(self):
+        """A vessel that was never at speed=low must still get a 'moving'
+        computation seeded from its speed=high instance (RTEC grounding)."""
+        rules = SPEED + """
+        holdsFor(moving(V)=true, I) :-
+            holdsFor(speed(V)=low, I1),
+            holdsFor(speed(V)=high, I2),
+            union_all([I1, I2], I).
+        """
+        result = _run(rules, [(1, "fast(v7)"), (9, "halt(v7)")])
+        assert result.holds_for("moving(v7)=true").as_pairs() == [(2, 9)]
+
+    def test_background_join_in_holds_for(self):
+        rules = SPEED + """
+        holdsFor(tandem(V, W)=true, I) :-
+            holdsFor(speed(V)=low, I1),
+            paired(V, W),
+            holdsFor(speed(W)=low, I2),
+            intersect_all([I1, I2], I).
+        """
+        result = _run(
+            rules,
+            [(1, "slow(v1)"), (3, "slow(v2)"), (8, "halt(v1)"), (9, "halt(v2)")],
+            kb_text="paired(v1, v2).",
+        )
+        assert result.holds_for("tandem(v1, v2)=true").as_pairs() == [(4, 8)]
+        assert not result.holds_for("tandem(v2, v1)=true")
+
+
+class TestInputFluents:
+    def test_input_fluent_feeds_holds_for(self):
+        rules = SPEED + """
+        holdsFor(meeting(V, W)=true, I) :-
+            holdsFor(proximity(V, W)=true, Ip),
+            holdsFor(speed(V)=low, I1),
+            intersect_all([Ip, I1], I).
+        """
+        fluents = InputFluents()
+        fluents.set(parse_term("proximity(v1, v2)=true"), IntervalList([(3, 20)]))
+        result = _run(
+            rules,
+            [(1, "slow(v1)"), (10, "halt(v1)")],
+            input_fluents=fluents,
+        )
+        assert result.holds_for("meeting(v1, v2)=true").as_pairs() == [(3, 10)]
+
+    def test_input_fluent_intervals_appear_in_result(self):
+        fluents = InputFluents()
+        fluents.set(parse_term("proximity(v1, v2)=true"), IntervalList([(3, 5)]))
+        result = _run(SPEED, [(1, "slow(v1)")], input_fluents=fluents)
+        assert result.holds_for("proximity(v1, v2)=true").as_pairs() == [(3, 5)]
+
+
+class TestMultiRuleUnion:
+    def test_two_holds_for_rules_union(self):
+        rules = SPEED + """
+        holdsFor(active(V)=true, I) :-
+            holdsFor(speed(V)=low, I1),
+            union_all([I1], I).
+        holdsFor(active(V)=true, I) :-
+            holdsFor(speed(V)=high, I1),
+            union_all([I1], I).
+        """
+        result = _run(rules, [(1, "slow(v1)"), (5, "fast(v1)"), (9, "halt(v1)")])
+        assert result.holds_for("active(v1)=true").as_pairs() == [(2, 9)]

@@ -1,0 +1,55 @@
+"""Unit tests for the fluent store."""
+
+import pytest
+
+from repro.intervals import IntervalList
+from repro.logic.parser import parse_term
+from repro.rtec.store import FluentStore
+
+
+@pytest.fixture
+def store():
+    s = FluentStore()
+    s.set(parse_term("speed(v1)=low"), IntervalList([(1, 5)]))
+    s.set(parse_term("speed(v1)=high"), IntervalList([(6, 9)]))
+    s.set(parse_term("speed(v2)=low"), IntervalList([(2, 4)]))
+    s.set(parse_term("inside(v1)=true"), IntervalList([(0, 10)]))
+    return s
+
+
+class TestFluentStore:
+    def test_get_exact(self, store):
+        assert store.get(parse_term("speed(v1)=low")).as_pairs() == [(1, 5)]
+
+    def test_get_missing_is_empty(self, store):
+        assert not store.get(parse_term("speed(v9)=low"))
+
+    def test_holds_at(self, store):
+        assert store.holds_at(parse_term("speed(v1)=low"), 3)
+        assert not store.holds_at(parse_term("speed(v1)=low"), 6)
+
+    def test_instances_by_schema(self, store):
+        instances = list(store.instances(("speed", 1)))
+        assert len(instances) == 3
+
+    def test_instances_unknown_schema(self, store):
+        assert not list(store.instances(("draft", 1)))
+
+    def test_replace_keeps_single_index_entry(self, store):
+        pair = parse_term("speed(v1)=low")
+        store.set(pair, IntervalList([(20, 30)]))
+        assert store.get(pair).as_pairs() == [(20, 30)]
+        assert len(list(store.instances(("speed", 1)))) == 3
+
+    def test_contains_and_len(self, store):
+        assert parse_term("inside(v1)=true") in store
+        assert parse_term("inside(v2)=true") not in store
+        assert len(store) == 4
+
+    def test_rejects_non_fvp(self, store):
+        with pytest.raises(ValueError):
+            store.set(parse_term("speed(v1)"), IntervalList())
+
+    def test_rejects_non_ground(self, store):
+        with pytest.raises(ValueError):
+            store.set(parse_term("speed(V)=low"), IntervalList())

@@ -1,0 +1,97 @@
+"""Unit tests for event streams and input fluents."""
+
+import pytest
+
+from repro.intervals import IntervalList
+from repro.logic.parser import parse_term
+from repro.rtec import Event, EventStream, InputFluents
+
+
+def _event(time, text):
+    return Event(time, parse_term(text))
+
+
+class TestEvent:
+    def test_functor_and_arity(self):
+        event = _event(5, "entersArea(v1, a1)")
+        assert event.functor == "entersArea"
+        assert event.arity == 2
+
+    def test_zero_arity_event(self):
+        event = _event(5, "alarm")
+        assert event.functor == "alarm"
+        assert event.arity == 0
+
+    def test_rejects_non_ground(self):
+        with pytest.raises(ValueError):
+            _event(5, "entersArea(V, a1)")
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            _event(-1, "gap_start(v1)")
+
+
+class TestEventStream:
+    @pytest.fixture
+    def stream(self):
+        return EventStream(
+            [
+                _event(10, "velocity(v1, 5.0, 90, 90)"),
+                _event(20, "velocity(v1, 6.0, 90, 90)"),
+                _event(20, "velocity(v2, 1.0, 10, 10)"),
+                _event(30, "gap_start(v1)"),
+            ]
+        )
+
+    def test_len_and_bounds(self, stream):
+        assert len(stream) == 4
+        assert stream.min_time == 10
+        assert stream.max_time == 30
+
+    def test_empty_stream(self):
+        stream = EventStream()
+        assert len(stream) == 0
+        assert stream.min_time is None and stream.max_time is None
+
+    def test_events_in_window_is_half_open(self, stream):
+        # RTEC windows are (start, end]: the event at 10 is excluded when
+        # start == 10 and included when end == 10.
+        times = [e.time for e in stream.events_in_window("velocity", 4, 10, 20)]
+        assert times == [20, 20]
+        times = [e.time for e in stream.events_in_window("velocity", 4, 9, 10)]
+        assert times == [10]
+
+    def test_events_at_exact_time(self, stream):
+        events = list(stream.events_at("velocity", 4, 20))
+        assert len(events) == 2
+        assert not list(stream.events_at("velocity", 4, 15))
+
+    def test_unknown_functor(self, stream):
+        assert not list(stream.events_in_window("stop_start", 1, 0, 100))
+
+    def test_iteration_is_time_ordered(self, stream):
+        times = [e.time for e in stream]
+        assert times == sorted(times)
+
+    def test_functors_listing(self, stream):
+        assert ("gap_start", 1) in stream.functors()
+        assert ("velocity", 4) in stream.functors()
+
+
+class TestInputFluents:
+    def test_set_and_get(self):
+        fluents = InputFluents()
+        pair = parse_term("proximity(v1, v2)=true")
+        fluents.set(pair, IntervalList([(5, 10)]))
+        assert fluents.get(pair).as_pairs() == [(5, 10)]
+        assert pair in fluents
+        assert len(fluents) == 1
+
+    def test_get_missing_is_empty(self):
+        fluents = InputFluents()
+        assert not fluents.get(parse_term("proximity(v1, v2)=true"))
+
+    def test_rejects_non_ground(self):
+        fluents = InputFluents()
+        with pytest.raises(ValueError):
+            fluents.set(parse_term("proximity(V, v2)=true"), IntervalList())

@@ -1,0 +1,97 @@
+"""Property-based tests of the windowing mechanism.
+
+The key invariant: for any stream and any window size (with step <= window),
+windowed recognition with inertia carry-over amalgamates to exactly the
+single-window result — forgetting events must not change what is recognised
+as long as consecutive windows connect.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.knowledge import KnowledgeBase
+from repro.logic.parser import parse_term
+from repro.rtec import Event, EventDescription, EventStream, RTECEngine
+
+RULES = """
+initiatedAt(f(V)=true, T) :- happensAt(start(V), T).
+terminatedAt(f(V)=true, T) :- happensAt(stop(V), T).
+
+initiatedAt(speed(V)=low, T) :- happensAt(slow(V), T).
+initiatedAt(speed(V)=high, T) :- happensAt(fast(V), T).
+terminatedAt(speed(V)=low, T) :- happensAt(stop(V), T).
+terminatedAt(speed(V)=high, T) :- happensAt(stop(V), T).
+
+initiatedAt(g(V)=true, T) :-
+    happensAt(ping(V), T),
+    holdsAt(f(V)=true, T).
+terminatedAt(g(V)=true, T) :- happensAt(stop(V), T).
+
+holdsFor(moving(V)=true, I) :-
+    holdsFor(speed(V)=low, I1),
+    holdsFor(speed(V)=high, I2),
+    union_all([I1, I2], I).
+
+holdsFor(activeMotion(V)=true, I) :-
+    holdsFor(moving(V)=true, Im),
+    holdsFor(f(V)=true, If),
+    intersect_all([Im, If], I).
+"""
+
+_EVENT_NAMES = ("start", "stop", "slow", "fast", "ping")
+_VESSELS = ("v1", "v2")
+
+_streams = st.lists(
+    st.tuples(
+        st.integers(0, 120),
+        st.sampled_from(_EVENT_NAMES),
+        st.sampled_from(_VESSELS),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def _engine():
+    return RTECEngine(EventDescription.from_text(RULES), KnowledgeBase(), strict=False)
+
+
+def _stream(raw):
+    return EventStream(
+        Event(t, parse_term("%s(%s)" % (name, vessel))) for t, name, vessel in raw
+    )
+
+
+class TestWindowEquivalence:
+    @given(raw=_streams, window=st.integers(1, 150))
+    @settings(max_examples=120, deadline=None)
+    def test_windowed_equals_single_window(self, raw, window):
+        engine = _engine()
+        stream = _stream(raw)
+        whole = engine.recognise(stream)
+        windowed = engine.recognise(stream, window=window)
+        assert set(map(repr, whole.fvps())) == set(map(repr, windowed.fvps()))
+        for pair in whole.fvps():
+            assert windowed.holds_for(pair) == whole.holds_for(pair), pair
+
+    @given(raw=_streams, window=st.integers(2, 60), divisor=st.integers(1, 4))
+    @settings(max_examples=80, deadline=None)
+    def test_smaller_step_changes_nothing(self, raw, window, divisor):
+        engine = _engine()
+        stream = _stream(raw)
+        step = max(1, window // divisor)
+        reference = engine.recognise(stream, window=window)
+        finer = engine.recognise(stream, window=window, step=step)
+        for pair in reference.fvps():
+            assert finer.holds_for(pair) == reference.holds_for(pair), pair
+
+    @given(raw=_streams)
+    @settings(max_examples=80, deadline=None)
+    def test_recognition_is_deterministic(self, raw):
+        engine = _engine()
+        stream = _stream(raw)
+        first = engine.recognise(stream)
+        second = engine.recognise(stream)
+        assert sorted(map(repr, first.fvps())) == sorted(map(repr, second.fvps()))
+        for pair in first.fvps():
+            assert first.holds_for(pair) == second.holds_for(pair)

@@ -1,0 +1,95 @@
+"""Tests for the from-scratch Kuhn–Munkres implementation."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity.assignment import kuhn_munkres
+
+try:
+    from scipy.optimize import linear_sum_assignment
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover
+    HAVE_SCIPY = False
+
+
+def _brute_force(cost):
+    n = len(cost)
+    best = float("inf")
+    for permutation in itertools.permutations(range(n)):
+        total = sum(cost[i][permutation[i]] for i in range(n))
+        best = min(best, total)
+    return best
+
+
+class TestBasics:
+    def test_empty(self):
+        assert kuhn_munkres([]) == ([], 0.0)
+
+    def test_single(self):
+        assignment, total = kuhn_munkres([[3.5]])
+        assert assignment == [0]
+        assert total == 3.5
+
+    def test_identity_is_optimal(self):
+        cost = [[0, 1, 1], [1, 0, 1], [1, 1, 0]]
+        assignment, total = kuhn_munkres(cost)
+        assert assignment == [0, 1, 2]
+        assert total == 0
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            kuhn_munkres([[1, 2], [3, 4], [5, 6]])
+
+    def test_classic_example(self):
+        cost = [[4, 1, 3], [2, 0, 5], [3, 2, 2]]
+        _assignment, total = kuhn_munkres(cost)
+        assert total == 5  # 1 + 2 + 2
+
+    def test_paper_example_matrix(self):
+        # The cost matrix of Example 4.4; the optimal mapping g of Example
+        # 4.6 has total cost 0.25.
+        cost = [[1, 0.25, 0], [0, 1, 0], [1, 1, 0]]
+        assignment, total = kuhn_munkres(cost)
+        assert total == pytest.approx(0.25)
+        assert assignment[0] == 1 and assignment[1] == 0
+
+    def test_assignment_is_permutation(self):
+        cost = [[2, 9, 4], [8, 1, 7], [6, 3, 5]]
+        assignment, _total = kuhn_munkres(cost)
+        assert sorted(assignment) == [0, 1, 2]
+
+
+class TestAgainstBruteForce:
+    @given(
+        matrix=st.integers(1, 5).flatmap(
+            lambda n: st.lists(
+                st.lists(st.floats(0, 1, allow_nan=False, width=32), min_size=n, max_size=n),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_brute_force(self, matrix):
+        _assignment, total = kuhn_munkres(matrix)
+        assert total == pytest.approx(_brute_force(matrix), abs=1e-9)
+
+
+@pytest.mark.skipif(not HAVE_SCIPY, reason="scipy not installed")
+class TestAgainstScipy:
+    @given(
+        seed=st.integers(0, 10_000),
+        size=st.integers(1, 12),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_scipy(self, seed, size):
+        rng = np.random.default_rng(seed)
+        cost = rng.uniform(0, 1, size=(size, size))
+        _assignment, total = kuhn_munkres(cost.tolist())
+        rows, cols = linear_sum_assignment(cost)
+        assert total == pytest.approx(cost[rows, cols].sum(), abs=1e-9)

@@ -1,0 +1,117 @@
+"""Unit and property tests for the ground-expression distances."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.parser import parse_term
+from repro.logic.terms import Compound, Constant, Variable
+from repro.similarity import ground_distance, set_distance, set_similarity
+
+import string
+
+_atoms = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=4)
+
+
+def _ground_terms():
+    base = st.one_of(_atoms.map(Constant), st.integers(0, 99).map(Constant))
+    return st.recursive(
+        base,
+        lambda children: st.builds(
+            lambda functor, args: Compound(functor, tuple(args)),
+            _atoms,
+            st.lists(children, min_size=1, max_size=3),
+        ),
+        max_leaves=6,
+    )
+
+
+class TestGroundDistance:
+    def test_equal_constants(self):
+        assert ground_distance(Constant("a"), Constant("a")) == 0
+
+    def test_different_constants(self):
+        assert ground_distance(Constant("a"), Constant("b")) == 1
+
+    def test_constant_vs_compound(self):
+        assert ground_distance(Constant("a"), parse_term("f(a)")) == 1
+
+    def test_arity_mismatch(self):
+        assert ground_distance(parse_term("f(a)"), parse_term("f(a, b)")) == 1
+
+    def test_argument_discounting(self):
+        # One differing argument out of two, at depth 1: 1/(2*2) = 0.25.
+        assert ground_distance(parse_term("f(a, b)"), parse_term("f(a, c)")) == 0.25
+
+    def test_deep_discounting(self):
+        # A mismatch at depth 2 inside unary functors: 1/2 * 1/2 = 0.25.
+        assert ground_distance(parse_term("f(g(a))"), parse_term("f(g(b))")) == 0.25
+
+    def test_rejects_variables(self):
+        with pytest.raises(ValueError):
+            ground_distance(Variable("X"), Constant("a"))
+
+    @given(term=_ground_terms())
+    @settings(max_examples=100, deadline=None)
+    def test_identity(self, term):
+        assert ground_distance(term, term) == 0
+
+    @given(left=_ground_terms(), right=_ground_terms())
+    @settings(max_examples=150, deadline=None)
+    def test_symmetry_and_range(self, left, right):
+        distance = ground_distance(left, right)
+        assert distance == ground_distance(right, left)
+        assert 0 <= distance <= 1
+
+    @given(left=_ground_terms(), middle=_ground_terms(), right=_ground_terms())
+    @settings(max_examples=100, deadline=None)
+    def test_triangle_inequality(self, left, middle, right):
+        assert ground_distance(left, right) <= (
+            ground_distance(left, middle) + ground_distance(middle, right) + 1e-9
+        )
+
+
+class TestSetDistance:
+    def test_identical_sets(self):
+        terms = [parse_term("f(a)"), parse_term("g(b)")]
+        assert set_distance(terms, terms) == 0
+
+    def test_empty_vs_empty(self):
+        assert set_distance([], []) == 0
+
+    def test_empty_vs_nonempty(self):
+        assert set_distance([parse_term("f(a)")], []) == 1
+        assert set_distance([], [parse_term("f(a)")]) == 1
+
+    def test_unmatched_penalty(self):
+        # Two identical expressions plus one unmatched: (1 + 0) / 2.
+        left = [parse_term("f(a)"), parse_term("g(b)")]
+        right = [parse_term("f(a)")]
+        assert set_distance(left, right) == 0.5
+
+    def test_order_invariance(self):
+        left = [parse_term("f(a)"), parse_term("g(b)")]
+        shuffled = [parse_term("g(b)"), parse_term("f(a)")]
+        assert set_distance(left, shuffled) == 0
+
+    def test_optimal_matching_beats_greedy(self):
+        # A greedy diagonal pairing would cost 2; the optimal crossing
+        # pairing costs 0.
+        left = [parse_term("f(a)"), parse_term("g(b)")]
+        right = [parse_term("g(b)"), parse_term("f(a)")]
+        assert set_distance(left, right) == 0
+
+    def test_similarity_complement(self):
+        left = [parse_term("f(a)")]
+        right = [parse_term("f(b)")]
+        assert set_similarity(left, right) == pytest.approx(1 - set_distance(left, right))
+
+    @given(
+        left=st.lists(_ground_terms(), max_size=4),
+        right=st.lists(_ground_terms(), max_size=4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_symmetry_and_range_property(self, left, right):
+        distance = set_distance(left, right)
+        assert distance == pytest.approx(set_distance(right, left))
+        assert 0 <= distance <= 1 + 1e-9

@@ -1,0 +1,171 @@
+"""The paper's worked examples, reproduced number by number.
+
+Examples 4.2, 4.4, 4.6, 4.8, 4.10 and 4.13 of Section 4 give concrete
+values for the metric's building blocks; these tests pin our
+implementation to them.
+"""
+
+import pytest
+
+from repro.logic.parser import parse_rule, parse_term
+from repro.logic.terms import Variable
+from repro.similarity import (
+    cost_matrix,
+    ground_distance,
+    rule_distance,
+    set_distance,
+    set_similarity,
+    variable_instance_paths,
+    variable_instances,
+)
+
+RULE_1 = parse_rule(
+    """initiatedAt(withinArea(Vl, AreaType)=true, T) :-
+        happensAt(entersArea(Vl, AreaID), T),
+        areaType(AreaID, AreaType)."""
+)
+
+RULE_6 = parse_rule(  # rule (1) with AreaID renamed to Area
+    """initiatedAt(withinArea(Vl, AreaType)=true, T) :-
+        happensAt(entersArea(Vl, Area), T),
+        areaType(Area, AreaType)."""
+)
+
+RULE_7 = parse_rule(  # rule (1) with the areaType arguments reversed
+    """initiatedAt(withinArea(Vl, AreaType)=true, T) :-
+        happensAt(entersArea(Vl, AreaID), T),
+        areaType(AreaType, AreaID)."""
+)
+
+
+class TestExample42:
+    """d(e1, e2) = 0.25 for the entersArea/inArea pair."""
+
+    def test_distance(self):
+        e1 = parse_term("happensAt(entersArea(v42, a1), 23)")
+        e2 = parse_term("happensAt(inArea(v42, a1), 23)")
+        assert ground_distance(e1, e2) == pytest.approx(0.25)
+
+    def test_branches_of_definition_41(self):
+        # First branch: equal constants.
+        assert ground_distance(parse_term("23"), parse_term("23")) == 0
+        # Third branch: different functors.
+        assert ground_distance(
+            parse_term("entersArea(v42, a1)"), parse_term("inArea(v42, a1)")
+        ) == 1
+
+
+class TestExample44:
+    """The 3x3 cost matrix of sets Ea and Eb."""
+
+    EA = [
+        parse_term("happensAt(entersArea(v42, a1), 23)"),
+        parse_term("areaType(a1, fishing)"),
+        parse_term("holdsAt(underway(v42)=true, 23)"),
+    ]
+    EB = [
+        parse_term("areaType(a1, fishing)"),
+        parse_term("happensAt(inArea(v42, a1), 23)"),
+    ]
+
+    def test_matrix(self):
+        matrix = cost_matrix(self.EA, self.EB)
+        assert matrix == [
+            [1.0, 0.25, 0.0],
+            [0.0, 1.0, 0.0],
+            [1.0, 1.0, 0.0],
+        ]
+
+    def test_orientation_enforced(self):
+        with pytest.raises(ValueError):
+            cost_matrix(self.EB, self.EA)
+
+
+class TestExample46:
+    """dE(Ea, Eb) = 0.4167; similarity 0.5833."""
+
+    def test_distance(self):
+        distance = set_distance(TestExample44.EA, TestExample44.EB)
+        assert distance == pytest.approx(0.4167, abs=1e-4)
+
+    def test_similarity(self):
+        similarity = set_similarity(TestExample44.EA, TestExample44.EB)
+        assert similarity == pytest.approx(0.5833, abs=1e-4)
+
+    def test_symmetry(self):
+        assert set_distance(TestExample44.EA, TestExample44.EB) == set_distance(
+            TestExample44.EB, TestExample44.EA
+        )
+
+
+class TestExample48And410:
+    """Tree representation paths and variable instance lists of rule (1)."""
+
+    def test_instances_in_expression(self):
+        term = parse_term("happensAt(entersArea(Vl, AreaID), T)")
+        paths = variable_instance_paths(term)
+        assert paths[Variable("Vl")] == [(("happensAt", 1), ("entersArea", 1))]
+        assert paths[Variable("T")] == [(("happensAt", 2),)]
+
+    def test_vir_of_rule_1(self):
+        vir = variable_instances(RULE_1)
+        assert vir[Variable("Vl")] == frozenset(
+            {
+                (("initiatedAt", 1), ("=", 1), ("withinArea", 1)),
+                (("happensAt", 1), ("entersArea", 1)),
+            }
+        )
+        assert vir[Variable("AreaType")] == frozenset(
+            {
+                (("initiatedAt", 1), ("=", 1), ("withinArea", 2)),
+                (("areaType", 2),),
+            }
+        )
+        assert vir[Variable("AreaID")] == frozenset(
+            {(("areaType", 1),), (("happensAt", 1), ("entersArea", 2))}
+        )
+
+
+class TestExample413:
+    """Rule distances: renaming is free, argument reversal is not.
+
+    The paper reports dr(r1, r7) = (1/3)(0.015625 + 0 + 0.0625 + 0.5) and
+    prints 0.1667, but the parenthesised sum is 0.578125, so the value that
+    follows from Definitions 4.11/4.12 is 0.192708... — we reproduce the
+    component distances exactly and the correctly-evaluated total (see
+    EXPERIMENTS.md for the discrepancy note).
+    """
+
+    def test_variable_renaming_costs_nothing(self):
+        assert rule_distance(RULE_1, RULE_6) == 0.0
+
+    def test_vir_of_rule_7(self):
+        vir = variable_instances(RULE_7)
+        assert vir[Variable("AreaType")] == frozenset(
+            {
+                (("initiatedAt", 1), ("=", 1), ("withinArea", 2)),
+                (("areaType", 1),),
+            }
+        )
+        assert vir[Variable("AreaID")] == frozenset(
+            {(("happensAt", 1), ("entersArea", 2)), (("areaType", 2),)}
+        )
+
+    def test_component_distances(self):
+        from repro.similarity import expression_distance
+
+        vir1 = variable_instances(RULE_1)
+        vir7 = variable_instances(RULE_7)
+        head = expression_distance(RULE_1.head, RULE_7.head, vir1, vir7)
+        assert head == pytest.approx(0.015625)  # 1/64
+        happens = expression_distance(
+            RULE_1.body[0].term, RULE_7.body[0].term, vir1, vir7
+        )
+        assert happens == pytest.approx(0.0625)  # 1/16
+        area_type = expression_distance(
+            RULE_1.body[1].term, RULE_7.body[1].term, vir1, vir7
+        )
+        assert area_type == pytest.approx(0.5)
+
+    def test_total_distance(self):
+        assert rule_distance(RULE_1, RULE_7) == pytest.approx(0.578125 / 3)

@@ -1,0 +1,140 @@
+"""Unit and property tests for rule and event-description distances."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.parser import parse_program, parse_rule
+from repro.similarity import (
+    event_description_distance,
+    event_description_similarity,
+    rule_distance,
+    rule_similarity,
+)
+
+RULE = parse_rule(
+    """initiatedAt(withinArea(Vl, AreaType)=true, T) :-
+        happensAt(entersArea(Vl, AreaID), T),
+        areaType(AreaID, AreaType)."""
+)
+
+
+class TestRuleDistance:
+    def test_identity(self):
+        assert rule_distance(RULE, RULE) == 0
+
+    def test_symmetry(self):
+        other = parse_rule(
+            "initiatedAt(withinArea(Vl, AreaType)=true, T) :- "
+            "happensAt(leavesArea(Vl, AreaID), T), areaType(AreaID, AreaType)."
+        )
+        assert rule_distance(RULE, other) == rule_distance(other, RULE)
+
+    def test_body_order_invariance(self):
+        permuted = parse_rule(
+            """initiatedAt(withinArea(Vl, AreaType)=true, T) :-
+                areaType(AreaID, AreaType),
+                happensAt(entersArea(Vl, AreaID), T)."""
+        )
+        assert rule_distance(RULE, permuted) == 0
+
+    def test_uniform_variable_renaming_free(self):
+        renamed = parse_rule(
+            """initiatedAt(withinArea(Vessel, Kind)=true, Time) :-
+                happensAt(entersArea(Vessel, Area), Time),
+                areaType(Area, Kind)."""
+        )
+        assert rule_distance(RULE, renamed) == 0
+
+    def test_variable_swap_costs(self):
+        # Swapping the roles of two variables changes their instance lists.
+        swapped = parse_rule(
+            """initiatedAt(withinArea(Vl, AreaType)=true, T) :-
+                happensAt(entersArea(AreaID, Vl), T),
+                areaType(AreaID, AreaType)."""
+        )
+        assert rule_distance(RULE, swapped) > 0
+
+    def test_missing_condition_penalised(self):
+        shorter = parse_rule(
+            "initiatedAt(withinArea(Vl, AreaType)=true, T) :- "
+            "happensAt(entersArea(Vl, AreaID), T)."
+        )
+        # M=2, K=1: (head 0 + (M-K) + matched) / 3 >= 1/3.
+        assert rule_distance(RULE, shorter) >= 1 / 3
+
+    def test_negating_a_condition_costs(self):
+        positive = parse_rule("initiatedAt(f(V)=true, T) :- happensAt(e(V), T), holdsAt(g(V)=true, T).")
+        negative = parse_rule("initiatedAt(f(V)=true, T) :- happensAt(e(V), T), not holdsAt(g(V)=true, T).")
+        distance = rule_distance(positive, negative)
+        # The negated condition mismatches at its top functor (cost 1) and
+        # the 'not' wrapper changes the instance paths of V, so the other
+        # occurrences of V also pay: strictly more than one condition's worth.
+        assert distance > 1 / 3
+        assert distance == pytest.approx(0.5520833333333334)
+
+    def test_facts_compare_by_head_only(self):
+        left = parse_rule("areaType(a1, fishing).")
+        right = parse_rule("areaType(a1, anchorage).")
+        assert rule_distance(left, left) == 0
+        assert rule_distance(left, right) == 0.25
+
+    def test_simple_vs_static_heads_maximally_distant(self):
+        simple = parse_rule("initiatedAt(f(V)=true, T) :- happensAt(e(V), T).")
+        static = parse_rule(
+            "holdsFor(f(V)=true, I) :- holdsFor(g(V)=true, I1), union_all([I1], I)."
+        )
+        # Heads differ in predicate: head distance 1; conditions mismatch too.
+        assert rule_distance(simple, static) > 0.9
+
+    def test_similarity_complement(self):
+        other = parse_rule(
+            "initiatedAt(withinArea(Vl, AreaType)=true, T) :- "
+            "happensAt(leavesArea(Vl, AreaID), T), areaType(AreaID, AreaType)."
+        )
+        assert rule_similarity(RULE, other) == pytest.approx(1 - rule_distance(RULE, other))
+
+
+class TestEventDescriptionDistance:
+    PROGRAM = """
+    initiatedAt(f(V)=true, T) :- happensAt(e(V), T).
+    terminatedAt(f(V)=true, T) :- happensAt(d(V), T).
+    """
+
+    def test_identity(self):
+        assert event_description_distance(self.PROGRAM, self.PROGRAM) == 0
+
+    def test_accepts_text_rules_and_descriptions(self):
+        from repro.rtec import EventDescription
+
+        rules = parse_program(self.PROGRAM)
+        desc = EventDescription(rules)
+        assert event_description_distance(desc, rules) == 0
+        assert event_description_similarity(self.PROGRAM, desc) == 1
+
+    def test_empty_descriptions(self):
+        assert event_description_distance([], []) == 0
+        assert event_description_distance(self.PROGRAM, []) == 1
+
+    def test_rule_order_invariance(self):
+        reversed_program = """
+        terminatedAt(f(V)=true, T) :- happensAt(d(V), T).
+        initiatedAt(f(V)=true, T) :- happensAt(e(V), T).
+        """
+        assert event_description_distance(self.PROGRAM, reversed_program) == 0
+
+    def test_missing_rule_penalised(self):
+        partial = "initiatedAt(f(V)=true, T) :- happensAt(e(V), T)."
+        assert event_description_distance(self.PROGRAM, partial) == 0.5
+
+    def test_symmetry(self):
+        other = """
+        initiatedAt(f(V)=true, T) :- happensAt(x(V), T).
+        terminatedAt(f(V)=true, T) :- happensAt(d(V), T).
+        """
+        assert event_description_distance(self.PROGRAM, other) == event_description_distance(
+            other, self.PROGRAM
+        )
+
+    def test_gold_self_similarity(self, gold_description):
+        assert event_description_similarity(gold_description, gold_description) == 1

@@ -1,0 +1,80 @@
+"""CLI tests (driving main() directly, checking stdout)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("fig2a", "fig2b", "fig2c", "recognise", "generate", "validate"):
+            args = parser.parse_args(
+                [command] if command != "validate" else [command, "x"]
+            )
+            assert args.command == command
+
+
+class TestGenerate:
+    def test_prints_rules_and_similarity(self, capsys):
+        assert main(["generate", "--model", "o1"]) == 0
+        out = capsys.readouterr().out
+        assert "average-similarity" in out
+        assert "initiatedAt(withinArea" in out
+
+    def test_explicit_scheme(self, capsys):
+        assert main(["generate", "--model", "gemma-2", "--scheme", "few-shot"]) == 0
+        assert "scheme=few-shot" in capsys.readouterr().out
+
+
+class TestValidate:
+    def test_valid_file(self, tmp_path, capsys):
+        path = tmp_path / "rules.prolog"
+        path.write_text(
+            "initiatedAt(f(V)=true, T) :- happensAt(gap_start(V), T).\n"
+        )
+        assert main(["validate", str(path)]) == 0
+        assert "no validation issues" in capsys.readouterr().out
+
+    def test_invalid_file_reports_issues(self, tmp_path, capsys):
+        path = tmp_path / "rules.prolog"
+        path.write_text(
+            "initiatedAt(f(V)=true, T) :- happensAt(teleport(V), T).\n"
+        )
+        assert main(["validate", str(path)]) == 1
+        assert "undefined-event" in capsys.readouterr().out
+
+    def test_no_vocabulary_flag(self, tmp_path, capsys):
+        path = tmp_path / "rules.prolog"
+        path.write_text(
+            "initiatedAt(f(V)=true, T) :- happensAt(teleport(V), T).\n"
+        )
+        assert main(["validate", str(path), "--no-vocabulary"]) == 0
+
+    def test_parse_error(self, tmp_path, capsys):
+        path = tmp_path / "rules.prolog"
+        path.write_text("this is not prolog @@@\n")
+        assert main(["validate", str(path)]) == 2
+
+    def test_missing_file(self, capsys):
+        assert main(["validate", "/nonexistent/rules.prolog"]) == 2
+
+
+class TestRecognise:
+    def test_prints_activity_summary(self, capsys):
+        assert main(["recognise", "--scale", "0.15", "--traffic", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "trawling" in out
+        assert "drifting" in out
+
+
+class TestFigures:
+    def test_fig2a(self, capsys):
+        assert main(["fig2a"]) == 0
+        out = capsys.readouterr().out
+        assert "o1□" in out
+        assert "top-3:" in out

@@ -1,0 +1,73 @@
+"""End-to-end integration: gold event description over the synthetic fleet."""
+
+import pytest
+
+from repro.logic.parser import parse_term
+from repro.maritime.gold import COMPOSITE_ACTIVITIES
+from repro.rtec import RTECEngine
+
+
+class TestGoldRecognition:
+    def test_every_composite_activity_detected(self, gold_recognition):
+        for activity in COMPOSITE_ACTIVITIES:
+            instances = list(gold_recognition.instances(activity))
+            assert instances, "no %s detected" % activity
+
+    def test_expected_protagonists(self, gold_recognition):
+        assert gold_recognition.holds_for("trawling(trawler1)=true")
+        assert gold_recognition.holds_for("highSpeedNearCoast(speeder1)=true")
+        assert gold_recognition.holds_for("anchoredOrMoored(anchored1)=true")
+        assert gold_recognition.holds_for("anchoredOrMoored(moored1)=true")
+        assert gold_recognition.holds_for("tugging(barge1, tug1)=true")
+        assert gold_recognition.holds_for("pilotBoarding(pilot1, tanker2)=true")
+        assert gold_recognition.holds_for("loitering(loiterer1)=true")
+        assert gold_recognition.holds_for("searchAndRescue(sar1)=true")
+        assert gold_recognition.holds_for("drifting(drifter1)=true")
+        assert gold_recognition.holds_for("gap(gapper1)=farFromPorts")
+
+    def test_background_traffic_triggers_no_alerts(self, gold_recognition):
+        for activity in COMPOSITE_ACTIVITIES:
+            for pair, _intervals in gold_recognition.instances(activity):
+                assert "traffic" not in repr(pair), (activity, pair)
+
+    def test_anchored_not_loitering(self, gold_recognition):
+        # loitering excludes anchoredOrMoored via relative_complement_all.
+        anchored = gold_recognition.holds_for("anchoredOrMoored(anchored1)=true")
+        loitering = gold_recognition.holds_for("loitering(anchored1)=true")
+        assert anchored
+        assert not set(anchored.points()) & set(loitering.points())
+
+    def test_mutually_exclusive_moving_speed_values(self, gold_recognition):
+        for suffix in ("below", "normal", "above"):
+            pass
+        below = gold_recognition.holds_for("movingSpeed(speeder1)=below")
+        normal = gold_recognition.holds_for("movingSpeed(speeder1)=normal")
+        above = gold_recognition.holds_for("movingSpeed(speeder1)=above")
+        points = [set(intervals.points()) for intervals in (below, normal, above)]
+        assert not (points[0] & points[1])
+        assert not (points[0] & points[2])
+        assert not (points[1] & points[2])
+
+    def test_gap_interrupts_within_area(self, small_dataset, gold_recognition):
+        # gapper1 goes silent mid-transit: withinArea must not persist
+        # through the communication gap.
+        gap = gold_recognition.holds_for("gap(gapper1)=farFromPorts")
+        assert gap
+        gap_start = gap.as_pairs()[0][0]
+        for pair, intervals in gold_recognition.instances("withinArea"):
+            if "gapper1" in repr(pair):
+                for start, end in intervals.as_pairs():
+                    assert not (start < gap_start <= end)
+
+
+class TestWindowedConsistency:
+    def test_windowed_run_matches_single_window(self, small_dataset, gold_description):
+        engine = RTECEngine(gold_description, small_dataset.kb, small_dataset.vocabulary)
+        whole = engine.recognise(small_dataset.stream, small_dataset.input_fluents)
+        windowed = engine.recognise(
+            small_dataset.stream, small_dataset.input_fluents, window=1200
+        )
+        for activity in COMPOSITE_ACTIVITIES:
+            whole_duration = whole.activity_duration(activity)
+            windowed_duration = windowed.activity_duration(activity)
+            assert windowed_duration == pytest.approx(whole_duration, rel=0.05), activity
