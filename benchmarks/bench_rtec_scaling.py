@@ -44,6 +44,35 @@ class TestWindowScaling:
                 print("  omega=%5ds  %6.2fs" % (window, seconds))
 
 
+class TestStageBreakdown:
+    def test_bench_per_stage_cost(self, benchmark, dataset, gold_engine, stage_telemetry):
+        """One profiled run: the benchmark JSON gains a per-stage breakdown
+        (window / simple-fluent / static-fluent spans) via ``extra_info``."""
+        result = benchmark.pedantic(
+            lambda: gold_engine.recognise(
+                dataset.stream, dataset.input_fluents, window=1200
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        assert result.activity_duration("trawling") > 0
+        stages = stage_telemetry.report().aggregate()
+        assert "rtec.window" in stages
+        assert "rtec.simple" in stages
+        assert "rtec.static" in stages
+        assert stages["rtec.window"].seconds > 0
+
+    def test_print_stage_breakdown(self, dataset, gold_engine, capsys, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1)
+        from repro import telemetry
+
+        with telemetry.enabled() as tracer:
+            gold_engine.recognise(dataset.stream, dataset.input_fluents, window=1200)
+        with capsys.disabled():
+            print("\n=== RTEC per-stage breakdown (omega=1200) ===")
+            print(tracer.report().render_summary())
+
+
 class TestStreamScaling:
     @pytest.mark.parametrize("scale", (0.1, 0.2, 0.4))
     def test_bench_stream_size(self, benchmark, scale):

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro import telemetry
 from repro.experiments import run_fig2a, run_fig2b
 from repro.maritime import build_dataset, gold_event_description
 from repro.rtec import RTECEngine
@@ -38,6 +39,23 @@ def gold_description():
 @pytest.fixture(scope="session")
 def gold_engine(dataset, gold_description):
     return RTECEngine(gold_description, dataset.kb, dataset.vocabulary)
+
+
+@pytest.fixture
+def stage_telemetry(benchmark):
+    """Per-test telemetry that lands in the benchmark JSON.
+
+    Enables the tracer for the duration of the test and, on teardown,
+    attaches the per-stage breakdown (span name -> calls/seconds/counters)
+    to ``benchmark.extra_info["telemetry"]`` so that
+    ``--benchmark-json`` artefacts carry per-stage cost, not just totals.
+    """
+    tracer = telemetry.enable()
+    try:
+        yield tracer
+    finally:
+        telemetry.disable()
+        benchmark.extra_info["telemetry"] = tracer.report().aggregate_dict()
 
 
 @pytest.fixture(scope="session")

@@ -16,6 +16,11 @@ The library has six layers, bottom-up:
   simulated LLMs, correction, and CER-accuracy evaluation;
 * :mod:`repro.experiments` — harnesses regenerating Figures 2a, 2b, 2c.
 
+Orthogonal to the layers, :mod:`repro.telemetry` provides an opt-in
+span/counter tracer wired through the recognition stack (see the
+"Profiling & telemetry" section of the README and ``python -m repro
+profile``).
+
 Quickstart::
 
     from repro.rtec import EventDescription, RTECEngine, Event, EventStream

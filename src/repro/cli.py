@@ -8,6 +8,7 @@ Subcommands mirror the paper's workflow::
     python -m repro recognise              # run the gold ED over the fleet
     python -m repro generate --model o1    # print one generated event description
     python -m repro validate FILE          # validate an RTEC event description
+    python -m repro profile --window 600   # telemetry span tree of a recognition run
 """
 
 from __future__ import annotations
@@ -79,6 +80,31 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("--model", choices=MODEL_NAMES, default="o1")
     diff.add_argument("--seed", type=int, default=0)
     diff.add_argument("--show-exact", action="store_true")
+
+    profile = sub.add_parser(
+        "profile",
+        help="run a recognition workload with telemetry enabled and print the span tree",
+    )
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--scale", type=float, default=0.1)
+    profile.add_argument("--traffic", type=int, default=2)
+    profile.add_argument("--window", type=int, default=600)
+    profile.add_argument("--step", type=int, default=None)
+    profile.add_argument(
+        "--session",
+        action="store_true",
+        help="replay the stream through an online RTECSession instead of batch recognition",
+    )
+    profile.add_argument("--json", action="store_true", help="emit the trace as JSON")
+    profile.add_argument(
+        "--min-ms", type=float, default=0.0, help="hide spans faster than this"
+    )
+    profile.add_argument(
+        "--max-children",
+        type=int,
+        default=10,
+        help="show at most this many (slowest) children per span",
+    )
 
     validate = sub.add_parser("validate", help="validate an RTEC event description file")
     validate.add_argument("path", help="file with RTEC rules")
@@ -174,6 +200,59 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro import telemetry
+    from repro.rtec.session import RTECSession
+
+    dataset = build_dataset(seed=args.seed, scale=args.scale, traffic=args.traffic)
+    engine = RTECEngine(gold_event_description(), dataset.kb, dataset.vocabulary)
+    with telemetry.enabled() as tracer:
+        if args.session:
+            session = RTECSession(engine, window=args.window)
+            for pair, intervals in dataset.input_fluents.items():
+                session.submit_fluent(pair, intervals)
+            events = list(dataset.stream)
+            step = args.step if args.step is not None else args.window
+            end = dataset.stream.max_time or 0
+            query_time = min((dataset.stream.min_time or 0) - 1 + step, end)
+            cursor = 0
+            while True:
+                while cursor < len(events) and events[cursor].time <= query_time:
+                    session.submit([events[cursor]])
+                    cursor += 1
+                session.advance(query_time)
+                if query_time >= end:
+                    break
+                query_time = min(query_time + step, end)
+        else:
+            engine.recognise(
+                dataset.stream,
+                dataset.input_fluents,
+                window=args.window,
+                step=args.step,
+            )
+    report = tracer.report()
+    if args.json:
+        print(report.to_json())
+        return 0
+    print(
+        "%% workload: %s over %d events (seed=%d scale=%g traffic=%d window=%d)"
+        % (
+            "online session" if args.session else "batch recognise",
+            len(dataset.stream),
+            args.seed,
+            args.scale,
+            args.traffic,
+            args.window,
+        )
+    )
+    print()
+    print(report.render(min_seconds=args.min_ms / 1e3, max_children=args.max_children))
+    print()
+    print(report.render_summary())
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     try:
         with open(args.path) as handle:
@@ -212,6 +291,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "errors": _cmd_errors,
     "diff": _cmd_diff,
+    "profile": _cmd_profile,
     "validate": _cmd_validate,
 }
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro import telemetry
 from repro.llm.pipeline import GeneratedActivity, GeneratedEventDescription
 from repro.logic.knowledge import KnowledgeBase
 from repro.logic.parser import Literal, Rule
@@ -156,6 +157,28 @@ def correct_event_description(
     manual_constant_renames: Optional[Mapping[str, str]] = None,
 ) -> Tuple[GeneratedEventDescription, CorrectionReport]:
     """Return a corrected copy of ``generated`` plus a report of the changes."""
+    span = telemetry.span(
+        "llm.correction", model=generated.model, scheme=generated.scheme
+    )
+    with span:
+        return _correct(
+            generated,
+            vocabulary,
+            kb,
+            manual_functor_renames,
+            manual_constant_renames,
+            span,
+        )
+
+
+def _correct(
+    generated: GeneratedEventDescription,
+    vocabulary: Vocabulary,
+    kb: KnowledgeBase,
+    manual_functor_renames: Optional[Mapping[str, str]],
+    manual_constant_renames: Optional[Mapping[str, str]],
+    span,
+) -> Tuple[GeneratedEventDescription, CorrectionReport]:
     report = CorrectionReport()
     rules = generated.all_rules()
     referenced_functors, referenced_constants = _referenced_names(rules)
@@ -182,6 +205,7 @@ def correct_event_description(
 
     vocabulary_names = sorted(known_functors - _STRUCTURAL)
     for name in sorted(referenced_functors - known_functors - set(functor_map)):
+        span.count("attempts")
         match = _closest(name, vocabulary_names)
         if match is not None:
             functor_map[name] = match
@@ -190,6 +214,7 @@ def correct_event_description(
             report.unresolved.append("functor %r" % name)
 
     for name in sorted(referenced_constants - known_constants - set(constant_map)):
+        span.count("attempts")
         match = _closest(name, sorted(known_constants - _KNOWN_VALUES))
         if match is not None:
             constant_map[name] = match
@@ -222,4 +247,8 @@ def correct_event_description(
         scheme=generated.scheme,
         activities=corrected_activities,
     )
+    if span.enabled:
+        span.count("functor_renames", len(report.functor_renames))
+        span.count("constant_renames", len(report.constant_renames))
+        span.count("unresolved", len(report.unresolved))
     return corrected, report

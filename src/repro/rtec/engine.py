@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro import telemetry
 from repro.intervals import IntervalList
 from repro.logic.knowledge import KnowledgeBase
 from repro.logic.terms import Compound, Term
@@ -173,64 +174,79 @@ class RTECEngine:
         up to and including it are final, so this window only contributes
         points in ``(merge_from, window_end]`` to the amalgamated result.
         """
-        store = FluentStore()
-        for pair, intervals in input_fluents.items():
-            clipped = intervals.restrict(window_start + 1, window_end)
-            if clipped:
-                store.set(pair, clipped)
-        on_error = self.runtime_warnings.append if self.skip_errors else None
-        next_pending: Dict[Term, int] = {}
-        for key in self._order:
-            if key in self.description.simple_fluents:
-                carried: Dict[Term, int] = {}
-                if include_initially:
-                    for pair in self.description.initial_fvps:
+        with telemetry.span(
+            "rtec.window",
+            window_start=window_start,
+            window_end=window_end,
+            pending=len(pending),
+        ) as sp:
+            if sp.enabled:
+                sp.set(
+                    events=stream.count_in_window(window_start, window_end),
+                    input_fluents=len(input_fluents),
+                )
+            store = FluentStore()
+            for pair, intervals in input_fluents.items():
+                clipped = intervals.restrict(window_start + 1, window_end)
+                if clipped:
+                    store.set(pair, clipped)
+            on_error = self.runtime_warnings.append if self.skip_errors else None
+            next_pending: Dict[Term, int] = {}
+            for key in self._order:
+                if key in self.description.simple_fluents:
+                    carried: Dict[Term, int] = {}
+                    if include_initially:
+                        for pair in self.description.initial_fvps:
+                            assert isinstance(pair, Compound)
+                            if fluent_key(pair.args[0]) == key:
+                                # An initially-declared FVP holds from time-point
+                                # 0: an initiation at -1 under (Ts, Te] semantics.
+                                carried[pair] = -1
+                    for pair, started in pending.items():
                         assert isinstance(pair, Compound)
                         if fluent_key(pair.args[0]) == key:
-                            # An initially-declared FVP holds from time-point
-                            # 0: an initiation at -1 under (Ts, Te] semantics.
-                            carried[pair] = -1
-                for pair, started in pending.items():
-                    assert isinstance(pair, Compound)
-                    if fluent_key(pair.args[0]) == key:
-                        carried[pair] = started
-                computed, opened = evaluate_simple_fluent(
-                    self.description.simple_fluents[key],
-                    stream,
-                    self.kb,
-                    store,
-                    window_start,
-                    window_end,
-                    carried,
-                    on_error=on_error,
-                    max_duration_for=self.description.max_duration_for
-                    if self.description.max_durations
-                    else None,
-                )
-                next_pending.update(opened)
-                # A carried initiation may reach back before this window;
-                # points before it were already reported by earlier windows.
-                # Clip so that every fluent in this window's store covers the
-                # same range — statically determined fluents would otherwise
-                # combine intervals of inconsistent temporal scopes.
-                computed = {
-                    pair: intervals.restrict(window_start + 1, window_end)
-                    for pair, intervals in computed.items()
-                }
-                computed = {
-                    pair: intervals for pair, intervals in computed.items() if intervals
-                }
-            else:
-                computed = evaluate_static_fluent(
-                    self.description.static_fluents[key],
-                    self.kb,
-                    store,
-                    on_error=on_error,
-                )
-            for pair, intervals in computed.items():
-                store.set(pair, intervals)
-        for pair, intervals in store.items():
-            if merge_from is not None:
-                intervals = intervals.restrict(merge_from + 1, window_end)
-            result.merge(pair, intervals)
-        return next_pending
+                            carried[pair] = started
+                    computed, opened = evaluate_simple_fluent(
+                        self.description.simple_fluents[key],
+                        stream,
+                        self.kb,
+                        store,
+                        window_start,
+                        window_end,
+                        carried,
+                        on_error=on_error,
+                        max_duration_for=self.description.max_duration_for
+                        if self.description.max_durations
+                        else None,
+                    )
+                    next_pending.update(opened)
+                    # A carried initiation may reach back before this window;
+                    # points before it were already reported by earlier windows.
+                    # Clip so that every fluent in this window's store covers the
+                    # same range — statically determined fluents would otherwise
+                    # combine intervals of inconsistent temporal scopes.
+                    computed = {
+                        pair: intervals.restrict(window_start + 1, window_end)
+                        for pair, intervals in computed.items()
+                    }
+                    computed = {
+                        pair: intervals for pair, intervals in computed.items() if intervals
+                    }
+                else:
+                    computed = evaluate_static_fluent(
+                        self.description.static_fluents[key],
+                        self.kb,
+                        store,
+                        on_error=on_error,
+                    )
+                for pair, intervals in computed.items():
+                    store.set(pair, intervals)
+            stored_fvps = 0
+            for pair, intervals in store.items():
+                stored_fvps += 1
+                if merge_from is not None:
+                    intervals = intervals.restrict(merge_from + 1, window_end)
+                result.merge(pair, intervals)
+            sp.count("stored_fvps", stored_fvps)
+            sp.count("carried_open", len(next_pending))
+            return next_pending

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
+from repro import telemetry
 from repro.intervals import IntervalList, union_all
 from repro.logic.terms import Term
 from repro.rtec.engine import RTECEngine
@@ -44,7 +45,10 @@ class RTECSession:
         self.engine = engine
         self.window = window
         self._buffer: List[Event] = []
-        self._fluent_intervals: Dict[Term, List[IntervalList]] = {}
+        #: Input-fluent intervals still reachable by a future window; merged
+        #: on submission and clipped at each advance so storage is bounded
+        #: by omega, like the event buffer.
+        self._fluent_intervals: Dict[Term, IntervalList] = {}
         self._pending: Dict[Term, int] = {}
         self._result = RecognitionResult()
         self._last_query: Optional[int] = None
@@ -68,8 +72,33 @@ class RTECSession:
         return accepted
 
     def submit_fluent(self, pair: Term, intervals: IntervalList) -> None:
-        """Deliver (additional) maximal intervals of an input fluent."""
-        self._fluent_intervals.setdefault(pair, []).append(intervals)
+        """Deliver (additional) maximal intervals of an input fluent.
+
+        Like :meth:`submit`, portions at or before the current window lower
+        bound are already forgotten and are dropped on arrival.
+        """
+        if self._last_query is not None:
+            intervals = self._clip_forgotten(intervals, self._last_query - self.window)
+            if not intervals:
+                return
+        existing = self._fluent_intervals.get(pair)
+        if existing:
+            intervals = union_all([existing, intervals])
+        self._fluent_intervals[pair] = intervals
+
+    @staticmethod
+    def _clip_forgotten(intervals: IntervalList, horizon: int) -> IntervalList:
+        """Drop the time-points at or before ``horizon`` (the forgetting
+        boundary): no future window — query times are non-decreasing — can
+        reach them."""
+        if not intervals:
+            return intervals
+        last = intervals.span[1]
+        if last <= horizon:
+            return IntervalList.empty()
+        if intervals.span[0] > horizon:
+            return intervals
+        return intervals.restrict(horizon + 1, last)
 
     # -- reasoning --------------------------------------------------------------
 
@@ -86,33 +115,49 @@ class RTECSession:
                 "query times must be non-decreasing (%d < %d)"
                 % (query_time, self._last_query)
             )
-        window_start = query_time - self.window
-        stream = EventStream(
-            event for event in self._buffer if window_start < event.time <= query_time
-        )
-        input_fluents = InputFluents()
-        for pair, interval_lists in self._fluent_intervals.items():
-            merged = union_all(interval_lists)
-            if merged:
-                input_fluents.set(pair, merged)
-        if self._first_advance and self.engine.description.initial_fvps:
-            # initially/1 declarations are evaluated from the time origin.
-            window_start = min(window_start, -1)
-        self._pending = self.engine._process_window(
-            stream,
-            input_fluents,
-            window_start,
-            query_time,
-            self._result,
-            pending=self._pending,
-            include_initially=self._first_advance,
-            merge_from=self._last_query,
-        )
-        self._first_advance = False
-        self._last_query = query_time
-        # Forget: drop events that no future window can reach.
-        self._buffer = [event for event in self._buffer if event.time > window_start]
-        return self._result
+        with telemetry.span("rtec.advance", query_time=query_time) as sp:
+            horizon = query_time - self.window
+            window_start = horizon
+            stream = EventStream(
+                event for event in self._buffer if window_start < event.time <= query_time
+            )
+            input_fluents = InputFluents()
+            for pair, intervals in self._fluent_intervals.items():
+                input_fluents.set(pair, intervals)
+            if self._first_advance and self.engine.description.initial_fvps:
+                # initially/1 declarations are evaluated from the time origin.
+                window_start = min(window_start, -1)
+            buffered_before = len(self._buffer)
+            self._pending = self.engine._process_window(
+                stream,
+                input_fluents,
+                window_start,
+                query_time,
+                self._result,
+                pending=self._pending,
+                include_initially=self._first_advance,
+                merge_from=self._last_query,
+            )
+            self._first_advance = False
+            self._last_query = query_time
+            # Forget: drop events and input-fluent points that no future
+            # window can reach, bounding session memory by omega.
+            self._buffer = [event for event in self._buffer if event.time > horizon]
+            kept: Dict[Term, IntervalList] = {}
+            for pair, intervals in self._fluent_intervals.items():
+                clipped = self._clip_forgotten(intervals, horizon)
+                if clipped:
+                    kept[pair] = clipped
+            self._fluent_intervals = kept
+            if sp.enabled:
+                sp.count("events", len(stream))
+                sp.count("buffered", len(self._buffer))
+                sp.count("forgotten_events", buffered_before - len(self._buffer))
+                sp.count("fluent_pairs", len(kept))
+                sp.count(
+                    "fluent_intervals", sum(len(ivs) for ivs in kept.values())
+                )
+            return self._result
 
     # -- queries ----------------------------------------------------------------
 
@@ -125,6 +170,15 @@ class RTECSession:
     def buffered_events(self) -> int:
         """Number of events currently retained (bounded by the window)."""
         return len(self._buffer)
+
+    @property
+    def stored_fluent_intervals(self) -> int:
+        """Total input-fluent intervals retained (bounded by the window)."""
+        return sum(len(intervals) for intervals in self._fluent_intervals.values())
+
+    def fluent_storage(self) -> Dict[Term, IntervalList]:
+        """A copy of the retained input-fluent intervals, for inspection."""
+        return dict(self._fluent_intervals)
 
     @property
     def last_query_time(self) -> Optional[int]:

@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, Iterator, List, Set, Tuple
 
+from repro import telemetry
 from repro.intervals import IntervalList
 from repro.intervals.pairing import pair_intervals
 from repro.logic.knowledge import KnowledgeBase
@@ -62,73 +63,87 @@ def evaluate_simple_fluent(
     that failed is skipped (tolerant execution of imperfect generated
     rules).
     """
-    initiations: Dict[Term, Set[int]] = defaultdict(set)
-    terminations: Dict[Term, Set[int]] = defaultdict(set)
+    with telemetry.span(
+        "rtec.simple", fluent="%s/%d" % definition.key
+    ) as sp:
+        initiations: Dict[Term, Set[int]] = defaultdict(set)
+        terminations: Dict[Term, Set[int]] = defaultdict(set)
 
-    for rule in definition.initiated_rules:
-        try:
-            for pair, time in rule_firing_points(
-                rule, stream, kb, store, window_start, window_end, require_ground=True
-            ):
-                initiations[pair].add(time)
-        except EvaluationError as exc:
-            if on_error is None:
-                raise
-            on_error("skipped rule %r: %s" % (rule.head, exc))
+        for rule in definition.initiated_rules:
+            try:
+                for pair, time in rule_firing_points(
+                    rule, stream, kb, store, window_start, window_end, require_ground=True
+                ):
+                    initiations[pair].add(time)
+            except EvaluationError as exc:
+                if on_error is None:
+                    raise
+                on_error("skipped rule %r: %s" % (rule.head, exc))
 
-    for pair, start_time in carried_initiations.items():
-        initiations[pair].add(start_time)
+        for pair, start_time in carried_initiations.items():
+            initiations[pair].add(start_time)
 
-    # A termination whose head still has unbound variables (e.g. the
-    # AreaType of "terminatedAt(withinArea(Vl, AreaType)=true, T) :-
-    # happensAt(gap_start(Vl), T)") terminates every matching instance.
-    pending: List[Tuple[Term, int]] = []
-    for rule in definition.terminated_rules:
-        try:
-            for pair, time in rule_firing_points(
-                rule, stream, kb, store, window_start, window_end, require_ground=False
-            ):
-                pending.append((pair, time))
-        except EvaluationError as exc:
-            if on_error is None:
-                raise
-            on_error("skipped rule %r: %s" % (rule.head, exc))
-    for pattern, time in pending:
-        if is_ground(pattern):
-            terminations[pattern].add(time)
-            continue
+        # A termination whose head still has unbound variables (e.g. the
+        # AreaType of "terminatedAt(withinArea(Vl, AreaType)=true, T) :-
+        # happensAt(gap_start(Vl), T)") terminates every matching instance.
+        pending: List[Tuple[Term, int]] = []
+        for rule in definition.terminated_rules:
+            try:
+                for pair, time in rule_firing_points(
+                    rule, stream, kb, store, window_start, window_end, require_ground=False
+                ):
+                    pending.append((pair, time))
+            except EvaluationError as exc:
+                if on_error is None:
+                    raise
+                on_error("skipped rule %r: %s" % (rule.head, exc))
+        for pattern, time in pending:
+            if is_ground(pattern):
+                terminations[pattern].add(time)
+                continue
+            for pair in initiations:
+                if unify(pattern, pair) is not None:
+                    terminations[pair].add(time)
+
+        # Value exclusivity: initiating F=V' terminates F=V for V' != V.
+        by_fluent: Dict[Term, List[Term]] = defaultdict(list)
         for pair in initiations:
-            if unify(pattern, pair) is not None:
-                terminations[pair].add(time)
+            assert isinstance(pair, Compound)
+            by_fluent[pair.args[0]].append(pair)
+        for fluent, pairs in by_fluent.items():
+            if len(pairs) < 2:
+                continue
+            for pair in pairs:
+                for other in pairs:
+                    if other != pair:
+                        terminations[pair].update(initiations[other])
 
-    # Value exclusivity: initiating F=V' terminates F=V for V' != V.
-    by_fluent: Dict[Term, List[Term]] = defaultdict(list)
-    for pair in initiations:
-        assert isinstance(pair, Compound)
-        by_fluent[pair.args[0]].append(pair)
-    for fluent, pairs in by_fluent.items():
-        if len(pairs) < 2:
-            continue
-        for pair in pairs:
-            for other in pairs:
-                if other != pair:
-                    terminations[pair].update(initiations[other])
-
-    result: Dict[Term, IntervalList] = {}
-    open_initiations: Dict[Term, int] = {}
-    for pair in set(initiations) | set(terminations):
-        deadline = max_duration_for(pair) if max_duration_for is not None else None
-        intervals, open_start = pair_intervals(
-            initiations.get(pair, ()),
-            terminations.get(pair, ()),
-            open_end=window_end,
-            max_duration=deadline,
-        )
-        if intervals:
-            result[pair] = intervals
-        if open_start is not None:
-            open_initiations[pair] = open_start
-    return result, open_initiations
+        result: Dict[Term, IntervalList] = {}
+        open_initiations: Dict[Term, int] = {}
+        groundings = set(initiations) | set(terminations)
+        for pair in groundings:
+            deadline = max_duration_for(pair) if max_duration_for is not None else None
+            intervals, open_start = pair_intervals(
+                initiations.get(pair, ()),
+                terminations.get(pair, ()),
+                open_end=window_end,
+                max_duration=deadline,
+            )
+            if intervals:
+                result[pair] = intervals
+            if open_start is not None:
+                open_initiations[pair] = open_start
+        if sp.enabled:
+            sp.count("groundings", len(groundings))
+            sp.count("pairings", len(result))
+            sp.count("carried", len(carried_initiations))
+            sp.count(
+                "initiation_points", sum(len(points) for points in initiations.values())
+            )
+            sp.count(
+                "termination_points", sum(len(points) for points in terminations.values())
+            )
+        return result, open_initiations
 
 
 def rule_firing_points(

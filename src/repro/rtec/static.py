@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Set, Tuple
 
+from repro import telemetry
 from repro.intervals import IntervalList, intersect_all, relative_complement_all, union_all
 from repro.logic.knowledge import KnowledgeBase
 from repro.logic.parser import LIST_FUNCTOR, Literal, Rule
@@ -51,20 +52,28 @@ def evaluate_static_fluent(
     ``on_error``, when given, receives :class:`EvaluationError` messages and
     the offending rule is skipped instead of the error propagating.
     """
-    result: Dict[Term, List[IntervalList]] = {}
-    for rule in definition.rules:
-        try:
-            for pair, intervals in _evaluate_rule(rule, kb, store):
-                result.setdefault(pair, []).append(intervals)
-        except EvaluationError as exc:
-            if on_error is None:
-                raise
-            on_error("skipped rule %r: %s" % (rule.head, exc))
-    return {
-        pair: union_all(interval_lists)
-        for pair, interval_lists in result.items()
-        if any(interval_lists)
-    }
+    with telemetry.span(
+        "rtec.static", fluent="%s/%d" % definition.key
+    ) as sp:
+        result: Dict[Term, List[IntervalList]] = {}
+        for rule in definition.rules:
+            try:
+                for pair, intervals in _evaluate_rule(rule, kb, store):
+                    result.setdefault(pair, []).append(intervals)
+            except EvaluationError as exc:
+                if on_error is None:
+                    raise
+                on_error("skipped rule %r: %s" % (rule.head, exc))
+        merged = {
+            pair: union_all(interval_lists)
+            for pair, interval_lists in result.items()
+            if any(interval_lists)
+        }
+        if sp.enabled:
+            sp.count("rules", len(definition.rules))
+            sp.count("groundings", len(result))
+            sp.count("fvps", len(merged))
+        return merged
 
 
 def _evaluate_rule(
@@ -77,7 +86,9 @@ def _evaluate_rule(
     if not is_fvp(head_pair):
         raise EvaluationError("holdsFor head without an FVP: %r" % (head,))
     emitted: Set[Tuple[Term, IntervalList]] = set()
-    for seed in _seed_substitutions(rule, store):
+    seeds = _seed_substitutions(rule, store)
+    telemetry.count("seeds", len(seeds))
+    for seed in seeds:
         for subst, env in _satisfy_body(rule.body, seed, {}, kb, store):
             pair = subst.resolve(head_pair)
             if not is_ground(pair):

@@ -64,20 +64,16 @@ class EventStream:
     def __init__(self, events: Iterable[Event] = ()) -> None:
         self._by_functor: Dict[Tuple[str, int], List[Event]] = defaultdict(list)
         self._times_by_functor: Dict[Tuple[str, int], List[int]] = {}
-        self._count = 0
-        self._min_time: Optional[int] = None
-        self._max_time: Optional[int] = None
-        bucket_sorted: Dict[Tuple[str, int], List[Event]] = defaultdict(list)
-        for event in events:
-            bucket_sorted[(event.functor, event.arity)].append(event)
-            self._count += 1
-            if self._min_time is None or event.time < self._min_time:
-                self._min_time = event.time
-            if self._max_time is None or event.time > self._max_time:
-                self._max_time = event.time
-        for key, bucket in bucket_sorted.items():
-            bucket.sort(key=lambda e: (e.time, repr(e.term)))
-            self._by_functor[key] = bucket
+        # One global sort; the per-functor buckets inherit its order (the
+        # bucketing pass below is order-preserving), and iteration reuses
+        # the merged list instead of re-sorting the stream on every call.
+        self._sorted: List[Event] = sorted(events, key=lambda e: (e.time, repr(e.term)))
+        self._count = len(self._sorted)
+        self._min_time: Optional[int] = self._sorted[0].time if self._sorted else None
+        self._max_time: Optional[int] = self._sorted[-1].time if self._sorted else None
+        for event in self._sorted:
+            self._by_functor[(event.functor, event.arity)].append(event)
+        for key, bucket in self._by_functor.items():
             self._times_by_functor[key] = [e.time for e in bucket]
 
     @property
@@ -92,8 +88,14 @@ class EventStream:
         return self._count
 
     def __iter__(self) -> Iterator[Event]:
-        merged = [e for bucket in self._by_functor.values() for e in bucket]
-        return iter(sorted(merged, key=lambda e: (e.time, repr(e.term))))
+        return iter(self._sorted)
+
+    def count_in_window(self, start: int, end: int) -> int:
+        """Number of events with ``start < time <= end``, across all functors."""
+        total = 0
+        for times in self._times_by_functor.values():
+            total += bisect_right(times, end) - bisect_right(times, start)
+        return total
 
     def events_in_window(
         self, functor: str, arity: int, start: int, end: int

@@ -13,7 +13,10 @@ under hypothesis-generated matrices.
 
 from __future__ import annotations
 
+import math
 from typing import List, Sequence, Tuple
+
+from repro import telemetry
 
 __all__ = ["kuhn_munkres"]
 
@@ -32,13 +35,28 @@ def kuhn_munkres(cost: Sequence[Sequence[float]]) -> Tuple[List[int], float]:
     (assignment, total):
         ``assignment[i]`` is the column matched to row ``i``; ``total`` is
         the minimal sum of matched costs.
+
+    Raises
+    ------
+    ValueError:
+        On a non-square matrix, or on any non-finite entry (NaN or
+        infinity): NaN comparisons are all false, so the potentials update
+        would silently produce an arbitrary assignment.
     """
     n = len(cost)
     if n == 0:
         return [], 0.0
-    for row in cost:
+    for i, row in enumerate(cost):
         if len(row) != n:
             raise ValueError("kuhn_munkres requires a square cost matrix")
+        for j, entry in enumerate(row):
+            if not math.isfinite(entry):
+                raise ValueError(
+                    "kuhn_munkres requires finite costs; cost[%d][%d] is %r"
+                    % (i, j, entry)
+                )
+    telemetry.count("kuhn_munkres.calls")
+    telemetry.count("kuhn_munkres.cells", n * n)
 
     INF = float("inf")
     # Potentials u (rows) and v (columns); p[j] is the row matched to

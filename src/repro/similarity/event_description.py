@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import List, Sequence, Union
 
+from repro import telemetry
 from repro.logic.parser import Rule, parse_program
 from repro.rtec.description import EventDescription
 from repro.similarity.assignment import kuhn_munkres
@@ -45,12 +46,14 @@ def event_description_distance(left: Description, right: Description) -> float:
         return 0.0
     if k == 0:
         return 1.0
-    matrix = [
-        [rule_distance(left_rules[i], right_rules[j]) if j < k else 0.0 for j in range(m)]
-        for i in range(m)
-    ]
-    _assignment, matched_total = kuhn_munkres(matrix)
-    return ((m - k) + matched_total) / m
+    with telemetry.span("similarity.description", rules=m, matched_against=k) as sp:
+        matrix = [
+            [rule_distance(left_rules[i], right_rules[j]) if j < k else 0.0 for j in range(m)]
+            for i in range(m)
+        ]
+        _assignment, matched_total = kuhn_munkres(matrix)
+        sp.count("rule_pairs", m * k)
+        return ((m - k) + matched_total) / m
 
 
 def event_description_similarity(left: Description, right: Description) -> float:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro import telemetry
 from repro.logic.parser import Rule
 from repro.similarity.assignment import kuhn_munkres
 from repro.similarity.expressions import expression_distance
@@ -27,6 +28,8 @@ def rule_distance(left: Rule, right: Rule) -> float:
     """
     if len(left.body) < len(right.body):
         left, right = right, left
+    telemetry.count("rule_distance.calls")
+    telemetry.count("rule_distance.conditions", len(left.body) + len(right.body))
     left_instances = variable_instances(left)
     right_instances = variable_instances(right)
     head_distance = expression_distance(

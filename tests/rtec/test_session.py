@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.intervals import IntervalList
 from repro.logic.parser import parse_term
-from repro.rtec import Event, EventDescription, EventStream, RTECEngine
+from repro.rtec import Event, EventDescription, EventStream, InputFluents, RTECEngine
 from repro.rtec.session import RTECSession
 
 RULES = """
@@ -93,6 +93,47 @@ class TestSessionBasics:
         assert session.holds_for("h(v1, v2)=true").as_pairs() == [(10, 30)]
 
 
+class TestFluentMemory:
+    """Input-fluent storage must be bounded by the window, like the buffer."""
+
+    def test_fluent_storage_is_clipped_by_forgetting(self):
+        session = RTECSession(_engine(), window=10)
+        pair = parse_term("p(v1, v2)=true")
+        for start in range(0, 1000, 20):
+            session.submit_fluent(pair, IntervalList([(start, start + 5)]))
+            session.advance(start + 10)
+        storage = session.fluent_storage()
+        assert session.stored_fluent_intervals <= 2
+        for intervals in storage.values():
+            assert intervals.span[0] > session.last_query_time - session.window
+
+    def test_fully_forgotten_fluent_is_dropped(self):
+        session = RTECSession(_engine(), window=10)
+        pair = parse_term("p(v1, v2)=true")
+        session.submit_fluent(pair, IntervalList([(1, 5)]))
+        session.advance(10)
+        assert session.stored_fluent_intervals == 1
+        session.advance(30)
+        assert session.stored_fluent_intervals == 0
+        assert session.fluent_storage() == {}
+
+    def test_late_fluent_portions_are_dropped_on_submission(self):
+        session = RTECSession(_engine(), window=10)
+        session.advance(50)
+        pair = parse_term("p(v1, v2)=true")
+        session.submit_fluent(pair, IntervalList([(0, 20)]))  # entirely forgotten
+        assert session.stored_fluent_intervals == 0
+        session.submit_fluent(pair, IntervalList([(30, 60)]))  # clipped to (40, 60]
+        assert session.fluent_storage()[pair].as_pairs() == [(41, 60)]
+
+    def test_resubmission_merges_intervals(self):
+        session = RTECSession(_engine(), window=100)
+        pair = parse_term("p(v1, v2)=true")
+        session.submit_fluent(pair, IntervalList([(10, 20)]))
+        session.submit_fluent(pair, IntervalList([(15, 30)]))
+        assert session.fluent_storage()[pair].as_pairs() == [(10, 30)]
+
+
 class TestSessionEquivalence:
     _streams = st.lists(
         st.tuples(
@@ -119,6 +160,82 @@ class TestSessionEquivalence:
         query_time = min(start - 1 + step, end)
         while True:
             session.advance(query_time)
+            if query_time >= end:
+                break
+            query_time = min(query_time + step, end)
+
+        assert sorted(map(repr, batch.fvps())) == sorted(map(repr, session.result.fvps()))
+        for pair in batch.fvps():
+            assert session.holds_for(pair) == batch.holds_for(pair), pair
+
+    _FLUENT_RULES = RULES + """
+    holdsFor(h(V, W)=true, I) :-
+        holdsFor(p(V, W)=true, Ip),
+        holdsFor(f(V)=true, If),
+        intersect_all([Ip, If], I).
+    """
+    _fluent_arrivals = st.lists(
+        st.tuples(
+            st.sampled_from(("p(v1, v2)=true", "p(v2, v1)=true")),
+            st.integers(0, 80),
+            st.integers(1, 15),
+        ),
+        min_size=1,
+        max_size=8,
+    )
+
+    @given(
+        raw=_streams,
+        arrivals=_fluent_arrivals,
+        window=st.integers(5, 100),
+        step=st.integers(1, 5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_fluents_match_batch_and_stay_bounded(
+        self, raw, arrivals, window, step
+    ):
+        """Input fluents submitted incrementally across many advances give
+        the batch result, while fluent storage stays bounded by omega."""
+        events = [_event(t, "%s(%s)" % (name, vessel)) for t, name, vessel in raw]
+        stream = EventStream(events)
+
+        def _make_engine():
+            return RTECEngine(
+                EventDescription.from_text(self._FLUENT_RULES), strict=False
+            )
+
+        merged = {}
+        for text, start, length in arrivals:
+            pair = parse_term(text)
+            merged.setdefault(pair, []).append((start, start + length))
+        batch_fluents = InputFluents(
+            {pair: IntervalList(pairs) for pair, pairs in merged.items()}
+        )
+        batch = _make_engine().recognise(
+            stream, batch_fluents, window=window, step=step
+        )
+
+        # Same query-time sequence as the batch run (which also stretches
+        # its span over the input-fluent intervals).
+        start = min(stream.min_time, min(a[1] for a in arrivals))
+        end = max(stream.max_time, max(a[1] + a[2] for a in arrivals))
+        session = RTECSession(_make_engine(), window=window)
+        session.submit(events)
+        todo = sorted(
+            ((a[1], a[0], a[2]) for a in arrivals), key=lambda item: item[0]
+        )
+        query_time = min(start - 1 + step, end)
+        while True:
+            # An interval "arrives" at its start time: deliver everything
+            # that has arrived by this query time.
+            while todo and todo[0][0] <= query_time:
+                arrived, text, length = todo.pop(0)
+                session.submit_fluent(
+                    parse_term(text), IntervalList([(arrived, arrived + length)])
+                )
+            session.advance(query_time)
+            for intervals in session.fluent_storage().values():
+                assert intervals.span[0] > query_time - window
             if query_time >= end:
                 break
             query_time = min(query_time + step, end)

@@ -73,6 +73,19 @@ class TestEventStream:
         times = [e.time for e in stream]
         assert times == sorted(times)
 
+    def test_iteration_is_cached(self, stream):
+        # Regression: the merged time-ordered list used to be rebuilt and
+        # re-sorted on every call; it is now precomputed at construction.
+        assert list(stream) == list(stream)
+        assert stream._sorted is stream._sorted  # stable storage, no rebuild
+
+    def test_count_in_window_is_half_open(self, stream):
+        assert stream.count_in_window(10, 20) == 2  # excludes t=10, includes 20
+        assert stream.count_in_window(10, 30) == 3
+        assert stream.count_in_window(9, 10) == 1
+        assert stream.count_in_window(0, 100) == 4
+        assert stream.count_in_window(30, 100) == 0
+
     def test_functors_listing(self, stream):
         assert ("gap_start", 1) in stream.functors()
         assert ("velocity", 4) in stream.functors()

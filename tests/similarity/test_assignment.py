@@ -45,6 +45,19 @@ class TestBasics:
         with pytest.raises(ValueError):
             kuhn_munkres([[1, 2], [3, 4], [5, 6]])
 
+    def test_rejects_nan_costs(self):
+        # Regression: NaN comparisons are all false, so the potentials
+        # update used to terminate with an arbitrary assignment instead of
+        # failing loudly.
+        with pytest.raises(ValueError, match="finite"):
+            kuhn_munkres([[0.0, float("nan")], [1.0, 0.0]])
+
+    def test_rejects_infinite_costs(self):
+        with pytest.raises(ValueError, match="finite"):
+            kuhn_munkres([[0.0, float("inf")], [1.0, 0.0]])
+        with pytest.raises(ValueError, match="finite"):
+            kuhn_munkres([[float("-inf")]])
+
     def test_classic_example(self):
         cost = [[4, 1, 3], [2, 0, 5], [3, 2, 2]]
         _assignment, total = kuhn_munkres(cost)

@@ -1,0 +1,140 @@
+"""Unit tests for the span/counter tracer."""
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import NULL_SPAN, Tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_state():
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+class TestSpans:
+    def test_span_records_duration(self):
+        tracer = Tracer()
+        with tracer.span("work") as sp:
+            pass
+        assert sp.duration is not None and sp.duration >= 0
+        assert tracer.roots == [sp]
+
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner-a") as a:
+                pass
+            with tracer.span("inner-b") as b:
+                with tracer.span("leaf") as leaf:
+                    pass
+        assert tracer.roots == [outer]
+        assert outer.children == [a, b]
+        assert b.children == [leaf]
+        assert a.children == []
+
+    def test_sibling_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [sp.name for sp in tracer.roots] == ["first", "second"]
+
+    def test_attrs_at_entry_and_via_set(self):
+        tracer = Tracer()
+        with tracer.span("w", window=10) as sp:
+            sp.set(events=3)
+        assert sp.attrs == {"window": 10, "events": 3}
+
+    def test_counters_accumulate(self):
+        tracer = Tracer()
+        with tracer.span("w") as sp:
+            sp.count("hits")
+            sp.count("hits", 2)
+        assert sp.counters == {"hits": 3}
+
+    def test_tracer_count_targets_innermost_open_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner") as inner:
+                tracer.count("deep")
+        assert inner.counters == {"deep": 1}
+
+    def test_tracer_count_without_open_span(self):
+        tracer = Tracer()
+        tracer.count("loose", 5)
+        assert tracer.counters == {"loose": 5}
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        assert len(tracer.roots) == 1
+        assert tracer.roots[0].duration is not None
+        assert tracer.current is None
+
+    def test_reset(self):
+        tracer = Tracer()
+        with tracer.span("w"):
+            pass
+        tracer.count("loose")
+        tracer.reset()
+        assert tracer.roots == [] and tracer.counters == {}
+
+
+class TestModuleApi:
+    def test_disabled_is_the_default(self):
+        assert not telemetry.is_enabled()
+        assert telemetry.active() is None
+
+    def test_disabled_span_is_the_null_singleton(self):
+        sp = telemetry.span("anything", attr=1)
+        assert sp is NULL_SPAN
+        assert not sp.enabled
+        with sp as inner:
+            inner.set(x=1)
+            inner.count("c")
+        assert sp.attrs == {} and sp.counters == {}
+
+    def test_null_span_is_reentrant(self):
+        with telemetry.span("a") as outer:
+            with telemetry.span("b") as inner:
+                assert outer is inner is NULL_SPAN
+
+    def test_disabled_count_is_a_noop(self):
+        telemetry.count("anything", 5)  # must not raise
+
+    def test_enable_routes_spans_to_the_tracer(self):
+        tracer = telemetry.enable()
+        with telemetry.span("w") as sp:
+            sp.count("hits")
+            telemetry.count("hits")
+        assert telemetry.active() is tracer
+        assert tracer.roots == [sp]
+        assert sp.counters == {"hits": 2}
+        telemetry.disable()
+        assert telemetry.span("w") is NULL_SPAN
+
+    def test_enabled_context_restores_previous_state(self):
+        assert not telemetry.is_enabled()
+        with telemetry.enabled() as tracer:
+            assert telemetry.active() is tracer
+            with telemetry.span("w"):
+                pass
+        assert not telemetry.is_enabled()
+        assert len(tracer.roots) == 1
+
+    def test_enabled_context_restores_outer_tracer(self):
+        outer = telemetry.enable()
+        with telemetry.enabled() as inner:
+            assert telemetry.active() is inner
+        assert telemetry.active() is outer
+
+    def test_enabled_accepts_an_existing_tracer(self):
+        tracer = Tracer()
+        with telemetry.enabled(tracer) as active:
+            assert active is tracer

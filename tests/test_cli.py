@@ -12,7 +12,15 @@ class TestParser:
 
     def test_all_commands_registered(self):
         parser = build_parser()
-        for command in ("fig2a", "fig2b", "fig2c", "recognise", "generate", "validate"):
+        for command in (
+            "fig2a",
+            "fig2b",
+            "fig2c",
+            "recognise",
+            "generate",
+            "validate",
+            "profile",
+        ):
             args = parser.parse_args(
                 [command] if command != "validate" else [command, "x"]
             )
@@ -70,6 +78,30 @@ class TestRecognise:
         out = capsys.readouterr().out
         assert "trawling" in out
         assert "drifting" in out
+
+
+class TestProfile:
+    def test_batch_span_tree(self, capsys):
+        from repro import telemetry
+
+        assert main(["profile", "--scale", "0.05", "--traffic", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "batch recognise" in out
+        assert "rtec.window" in out
+        assert "rtec.simple" in out
+        assert "fluent=" in out
+        # The CLI restores the disabled default afterwards.
+        assert not telemetry.is_enabled()
+
+    def test_session_json(self, capsys):
+        import json
+
+        assert main(
+            ["profile", "--scale", "0.05", "--traffic", "1", "--session", "--json"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        names = [span["name"] for span in data["spans"]]
+        assert "rtec.advance" in names
 
 
 class TestFigures:
