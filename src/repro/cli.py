@@ -60,6 +60,12 @@ def build_parser() -> argparse.ArgumentParser:
     recognise.add_argument("--scale", type=float, default=0.25)
     recognise.add_argument("--traffic", type=int, default=4)
     recognise.add_argument("--window", type=int, default=None)
+    recognise.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="fan recognition out over entity shards with this many workers",
+    )
 
     gen = sub.add_parser("generate", help="print one generated event description")
     gen.add_argument("--model", choices=MODEL_NAMES, default="o1")
@@ -90,6 +96,12 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--traffic", type=int, default=2)
     profile.add_argument("--window", type=int, default=600)
     profile.add_argument("--step", type=int, default=None)
+    profile.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="fan recognition out over entity shards with this many workers",
+    )
     profile.add_argument(
         "--session",
         action="store_true",
@@ -153,7 +165,9 @@ def _cmd_fig2c(args: argparse.Namespace) -> int:
 def _cmd_recognise(args: argparse.Namespace) -> int:
     dataset = build_dataset(seed=args.seed, scale=args.scale, traffic=args.traffic)
     engine = RTECEngine(gold_event_description(), dataset.kb, dataset.vocabulary)
-    result = engine.recognise(dataset.stream, dataset.input_fluents, window=args.window)
+    result = engine.recognise(
+        dataset.stream, dataset.input_fluents, window=args.window, jobs=args.jobs
+    )
     print("%-20s %9s %12s" % ("activity", "instances", "duration (s)"))
     for activity in COMPOSITE_ACTIVITIES:
         instances = list(result.instances(activity))
@@ -208,7 +222,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     engine = RTECEngine(gold_event_description(), dataset.kb, dataset.vocabulary)
     with telemetry.enabled() as tracer:
         if args.session:
-            session = RTECSession(engine, window=args.window)
+            session = RTECSession(engine, window=args.window, jobs=args.jobs)
             for pair, intervals in dataset.input_fluents.items():
                 session.submit_fluent(pair, intervals)
             events = list(dataset.stream)
@@ -224,6 +238,21 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                 if query_time >= end:
                     break
                 query_time = min(query_time + step, end)
+        elif args.jobs is not None and args.jobs != 1:
+            # Thread workers share the tracer (the span stack is
+            # per-thread), so the per-shard window spans stay in the tree;
+            # a process pool would lose them to the worker processes.
+            from repro.rtec.parallel import recognise_sharded
+
+            recognise_sharded(
+                engine,
+                dataset.stream,
+                dataset.input_fluents,
+                window=args.window,
+                step=args.step,
+                jobs=args.jobs,
+                executor="thread",
+            )
         else:
             engine.recognise(
                 dataset.stream,

@@ -96,6 +96,10 @@ class IntervalList:
     def single(cls, start: int, end: int) -> "IntervalList":
         return cls([(start, end)])
 
+    def raw(self) -> Tuple[Interval, ...]:
+        """The underlying sorted tuple — lets operations iterate without copying."""
+        return self._intervals
+
     # -- queries -----------------------------------------------------------
 
     def holds_at(self, point: int) -> bool:

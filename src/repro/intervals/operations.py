@@ -20,9 +20,14 @@ def union_all(interval_lists: Sequence[IntervalList]) -> IntervalList:
 
     ``union_all([]) == IntervalList.empty()``.
     """
+    non_empty = [il for il in interval_lists if il]
+    if not non_empty:
+        return IntervalList.empty()
+    if len(non_empty) == 1:
+        return non_empty[0]
     combined: List[Interval] = []
-    for interval_list in interval_lists:
-        combined.extend(interval_list)
+    for interval_list in non_empty:
+        combined.extend(interval_list.raw())
     return IntervalList(combined)
 
 
@@ -44,10 +49,12 @@ def intersect_all(interval_lists: Sequence[IntervalList]) -> IntervalList:
 
 
 def _intersect_two(left: IntervalList, right: IntervalList) -> IntervalList:
+    left_items = left.raw()
+    right_items = right.raw()
+    if not left_items or not right_items:
+        return IntervalList.empty()
     out: List[Interval] = []
     i = j = 0
-    left_items = list(left)
-    right_items = list(right)
     while i < len(left_items) and j < len(right_items):
         a, b = left_items[i], right_items[j]
         start = max(a.start, b.start)
@@ -69,23 +76,29 @@ def relative_complement_all(
     This is RTEC's ``relative_complement_all(I', L, I)``: the part of ``I'``
     not covered by the union of the lists in ``L``.
     """
-    covered = union_all(list(interval_lists))
+    if not base:
+        return base
+    covered = union_all(interval_lists)
     if not covered:
         return base
     out: List[Interval] = []
-    cov = list(covered)
-    for interval in base:
+    cov = covered.raw()
+    n = len(cov)
+    j = 0  # persistent: both sides are sorted, so never rescan consumed cover
+    for interval in base.raw():
         cursor = interval.start
-        for c in cov:
-            if c.end < cursor:
-                continue
-            if c.start > interval.end:
-                break
+        while j < n and cov[j].end < cursor:
+            j += 1
+        k = j
+        while k < n and cov[k].start <= interval.end:
+            c = cov[k]
             if c.start > cursor:
                 out.append(Interval(cursor, c.start - 1))
-            cursor = max(cursor, c.end + 1)
+            if c.end + 1 > cursor:
+                cursor = c.end + 1
             if cursor > interval.end:
                 break
+            k += 1
         if cursor <= interval.end:
             out.append(Interval(cursor, interval.end))
     return IntervalList(out)

@@ -27,10 +27,20 @@ def _key_of(term: Term) -> Tuple[str, int]:
 
 
 class KnowledgeBase:
-    """A set of ground atemporal facts indexed by (functor, arity)."""
+    """A set of ground atemporal facts indexed by (functor, arity).
+
+    Two secondary indexes accelerate the rule-evaluation hot path: a set per
+    predicate for O(1) fully-ground queries, and a first-argument index so a
+    query with a bound first argument (``vesselSpeedRange(v1, Min, Max)``)
+    only unifies against the facts of that entity instead of the whole
+    predicate. Both rely on :class:`~repro.logic.terms.Constant` equality
+    and hashing agreeing with unification (``2`` matches ``2.0``).
+    """
 
     def __init__(self, facts: Iterable[Term] = ()) -> None:
         self._facts: Dict[Tuple[str, int], List[Term]] = defaultdict(list)
+        self._fact_sets: Dict[Tuple[str, int], set] = defaultdict(set)
+        self._by_first: Dict[Tuple[str, int], Dict[Term, List[Term]]] = defaultdict(dict)
         for fact in facts:
             self.add(fact)
 
@@ -48,8 +58,11 @@ class KnowledgeBase:
         if not is_ground(fact):
             raise ValueError("knowledge base facts must be ground: %r" % (fact,))
         key = _key_of(fact)
-        if fact not in self._facts[key]:
+        if fact not in self._fact_sets[key]:
             self._facts[key].append(fact)
+            self._fact_sets[key].add(fact)
+            if isinstance(fact, Compound):
+                self._by_first[key].setdefault(fact.args[0], []).append(fact)
 
     def predicates(self) -> Iterator[Tuple[str, int]]:
         """Yield the (functor, arity) pairs with at least one fact."""
@@ -70,7 +83,16 @@ class KnowledgeBase:
             key = _key_of(goal)
         except ValueError:
             return
-        for fact in self._facts.get(key, ()):
+        if is_ground(goal):
+            if goal in self._fact_sets.get(key, ()):
+                yield subst
+            return
+        candidates = self._facts.get(key, ())
+        if candidates and isinstance(goal, Compound):
+            first = goal.args[0]
+            if is_ground(first):
+                candidates = self._by_first[key].get(first, ())
+        for fact in candidates:
             extended = unify(goal, fact, subst)
             if extended is not None:
                 yield extended
@@ -87,4 +109,4 @@ class KnowledgeBase:
             key = _key_of(fact)
         except ValueError:
             return False
-        return fact in self._facts.get(key, ())
+        return fact in self._fact_sets.get(key, ())

@@ -27,6 +27,7 @@ __all__ = [
     "Compound",
     "fvp",
     "make_atom",
+    "intern_constant",
     "is_fvp",
     "is_ground",
     "term_variables",
@@ -93,6 +94,24 @@ def make_atom(functor: str, *args: Term) -> Term:
     if not args:
         return Constant(functor)
     return Compound(functor, tuple(args))
+
+
+_INTERNED: dict = {}
+
+
+def intern_constant(value: Union[str, int, float]) -> Constant:
+    """A shared :class:`Constant` for ``value``.
+
+    Hot paths wrap the same atoms and time-points into constants millions of
+    times per run; interning makes those wrappers identical objects so
+    unification's ``left is right`` fast path and dict lookups hit more often.
+    Keyed by type as well as value so ``2`` and ``2.0`` keep distinct reprs.
+    """
+    key = (value.__class__, value)
+    constant = _INTERNED.get(key)
+    if constant is None:
+        constant = _INTERNED[key] = Constant(value)
+    return constant
 
 
 def fvp(fluent: Term, value: Term) -> Compound:

@@ -27,6 +27,14 @@ class Substitution:
     def __init__(self, bindings: Optional[Dict[Variable, Term]] = None) -> None:
         self._bindings: Dict[Variable, Term] = dict(bindings or {})
 
+    @classmethod
+    def _wrap(cls, bindings: Dict[Variable, Term]) -> "Substitution":
+        """Adopt ``bindings`` without copying. Internal: the caller must not
+        mutate the dict afterwards and must pass fully dereferenced terms."""
+        new = cls.__new__(cls)
+        new._bindings = bindings
+        return new
+
     def lookup(self, var: Variable) -> Optional[Term]:
         return self._bindings.get(var)
 
@@ -67,9 +75,14 @@ def _walk(term: Term, subst: Substitution) -> Term:
 
 def apply_substitution(term: Term, subst: Substitution) -> Term:
     """Replace every bound variable in ``term`` by its binding, recursively."""
+    if not subst._bindings:
+        return term
     term = _walk(term, subst)
     if isinstance(term, Compound):
-        return Compound(term.functor, tuple(apply_substitution(a, subst) for a in term.args))
+        new_args = tuple(apply_substitution(a, subst) for a in term.args)
+        if all(n is o for n, o in zip(new_args, term.args)):
+            return term
+        return Compound(term.functor, new_args)
     return term
 
 
@@ -84,6 +97,8 @@ def unify(left: Term, right: Term, subst: Optional[Substitution] = None) -> Opti
         subst = Substitution()
     left = _walk(left, subst)
     right = _walk(right, subst)
+    if left is right:
+        return subst
     if isinstance(left, Variable):
         if isinstance(right, Variable) and right == left:
             return subst

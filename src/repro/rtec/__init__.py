@@ -25,6 +25,8 @@ from repro.rtec.description import (
     fluent_key,
 )
 from repro.rtec.engine import RTECEngine
+from repro.rtec.parallel import ShardedRTECEngine, recognise_sharded
+from repro.rtec.partition import PartitionAnalysis, analyse_partitionability
 from repro.rtec.errors import (
     CyclicDependencyError,
     EvaluationError,
@@ -34,7 +36,7 @@ from repro.rtec.errors import (
 )
 from repro.rtec.result import RecognitionResult
 from repro.rtec.session import RTECSession
-from repro.rtec.stream import Event, EventStream, InputFluents
+from repro.rtec.stream import Event, EventStream, InputFluents, InputShard, partition_input
 
 __all__ = [
     "EventDescription",
@@ -44,6 +46,12 @@ __all__ = [
     "Vocabulary",
     "fluent_key",
     "RTECEngine",
+    "ShardedRTECEngine",
+    "recognise_sharded",
+    "PartitionAnalysis",
+    "analyse_partitionability",
+    "InputShard",
+    "partition_input",
     "RecognitionResult",
     "RTECSession",
     "Event",

@@ -226,6 +226,20 @@ class EventDescription:
             return
         self.max_durations.append((pair, int(duration.value)))
 
+    def partitionability(self) -> "PartitionAnalysis":
+        """The (cached) entity-sharding analysis of this description.
+
+        See :mod:`repro.rtec.partition`. The cache assumes the rule set is
+        not mutated after first access.
+        """
+        cached = getattr(self, "_partitionability", None)
+        if cached is None:
+            from repro.rtec.partition import analyse_partitionability
+
+            cached = analyse_partitionability(self)
+            self._partitionability = cached
+        return cached
+
     def max_duration_for(self, pair: Term) -> Optional[int]:
         """The deadline applying to a ground FVP, if any (first match wins)."""
         from repro.logic.unification import unify

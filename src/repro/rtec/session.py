@@ -14,14 +14,17 @@ produce identical results (a property checked by the test suite).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+import copy
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro import telemetry
 from repro.intervals import IntervalList, union_all
 from repro.logic.terms import Term
 from repro.rtec.engine import RTECEngine
 from repro.rtec.result import RecognitionResult
-from repro.rtec.stream import Event, EventStream, InputFluents
+from repro.rtec.stream import Event, EventStream, InputFluents, partition_input
 
 __all__ = ["RTECSession"]
 
@@ -37,13 +40,20 @@ class RTECSession:
         RTEC's omega: at each query time ``q``, events in ``(q - omega, q]``
         are considered and everything older is forgotten — events received
         with a timestamp at or before ``q - omega`` are silently dropped.
+    jobs:
+        When > 1, each :meth:`advance` partitions the buffered window by
+        entity key (see :mod:`repro.rtec.partition`) and evaluates the
+        shards over a thread pool, carrying open initiations per shard.
+        Results are identical to sequential advances; descriptions that are
+        not shardable fall back to sequential evaluation with a warning.
     """
 
-    def __init__(self, engine: RTECEngine, window: int) -> None:
+    def __init__(self, engine: RTECEngine, window: int, jobs: Optional[int] = None) -> None:
         if window <= 0:
             raise ValueError("window size must be positive")
         self.engine = engine
         self.window = window
+        self.jobs = jobs
         self._buffer: List[Event] = []
         #: Input-fluent intervals still reachable by a future window; merged
         #: on submission and clipped at each advance so storage is bounded
@@ -53,6 +63,7 @@ class RTECSession:
         self._result = RecognitionResult()
         self._last_query: Optional[int] = None
         self._first_advance = True
+        self._shard_warning_issued = False
 
     # -- input ----------------------------------------------------------------
 
@@ -118,26 +129,35 @@ class RTECSession:
         with telemetry.span("rtec.advance", query_time=query_time) as sp:
             horizon = query_time - self.window
             window_start = horizon
+            if self._first_advance and self.engine.description.initial_fvps:
+                # initially/1 declarations are evaluated from the time origin;
+                # the extension must happen before the buffer is filtered, or
+                # events in the extended part of the first window are lost.
+                window_start = min(window_start, -1)
             stream = EventStream(
                 event for event in self._buffer if window_start < event.time <= query_time
             )
             input_fluents = InputFluents()
             for pair, intervals in self._fluent_intervals.items():
                 input_fluents.set(pair, intervals)
-            if self._first_advance and self.engine.description.initial_fvps:
-                # initially/1 declarations are evaluated from the time origin.
-                window_start = min(window_start, -1)
             buffered_before = len(self._buffer)
-            self._pending = self.engine._process_window(
-                stream,
-                input_fluents,
-                window_start,
-                query_time,
-                self._result,
-                pending=self._pending,
-                include_initially=self._first_advance,
-                merge_from=self._last_query,
-            )
+            next_pending: Optional[Dict[Term, int]] = None
+            if self.jobs is not None and self.jobs != 1:
+                next_pending = self._advance_sharded(
+                    stream, input_fluents, window_start, query_time
+                )
+            if next_pending is None:
+                next_pending = self.engine._process_window(
+                    stream,
+                    input_fluents,
+                    window_start,
+                    query_time,
+                    self._result,
+                    pending=self._pending,
+                    include_initially=self._first_advance,
+                    merge_from=self._last_query,
+                )
+            self._pending = next_pending
             self._first_advance = False
             self._last_query = query_time
             # Forget: drop events and input-fluent points that no future
@@ -158,6 +178,105 @@ class RTECSession:
                     "fluent_intervals", sum(len(ivs) for ivs in kept.values())
                 )
             return self._result
+
+    def _advance_sharded(
+        self,
+        stream: EventStream,
+        input_fluents: InputFluents,
+        window_start: int,
+        query_time: int,
+    ) -> Optional[Dict[Term, int]]:
+        """Evaluate one window over entity shards; ``None`` falls back to
+        the sequential path (non-shardable description, or nothing to fan
+        out)."""
+        analysis = self.engine.description.partitionability()
+        if not analysis.shardable:
+            if not self._shard_warning_issued:
+                message = (
+                    "event description is not entity-shardable; the session "
+                    "advances sequentially: " + "; ".join(analysis.diagnostics)
+                )
+                warnings.warn(message, RuntimeWarning, stacklevel=3)
+                self.engine.runtime_warnings.append(message)
+                self._shard_warning_issued = True
+            return None
+        initials = (
+            self.engine.description.initial_fvps if self._first_advance else []
+        )
+        # Entities of carried open initiations must keep their component
+        # alive even when they produced no event this window.
+        carried_entities = [
+            analysis.fvp_entities(pair) for pair in self._pending
+        ]
+        shards, global_events, global_fluents, global_initials = partition_input(
+            stream,
+            input_fluents,
+            analysis,
+            initials,
+            extra_entities=[ents for ents in carried_entities if ents],
+        )
+        if len(shards) <= 1:
+            return None
+        entity_shard: Dict[Term, int] = {}
+        for index, shard in enumerate(shards):
+            for entity in shard.entities:
+                entity_shard[entity] = index
+        shard_pending: List[Dict[Term, int]] = [dict() for _ in shards]
+        global_pending: Dict[Term, int] = {}
+        for pair, started in self._pending.items():
+            entities = analysis.fvp_entities(pair)
+            if entities:
+                shard_pending[entity_shard[entities[0]]][pair] = started
+            else:
+                global_pending[pair] = started
+
+        include_initially = self._first_advance
+        merge_from = self._last_query
+        base_engine = self.engine
+
+        def run_shard(index: int) -> Tuple[RecognitionResult, Dict[Term, int], List[str]]:
+            shard = shards[index]
+            shard_engine = base_engine
+            if initials or global_initials:
+                description = copy.copy(base_engine.description)
+                description.initial_fvps = shard.initial_fvps + global_initials
+                shard_engine = RTECEngine(
+                    description,
+                    base_engine.kb,
+                    base_engine.vocabulary,
+                    strict=False,
+                    skip_errors=base_engine.skip_errors,
+                )
+            pending = dict(shard_pending[index])
+            pending.update(global_pending)
+            result = RecognitionResult()
+            sub_fluents = dict(shard.fluents)
+            sub_fluents.update(global_fluents)
+            opened = shard_engine._process_window(
+                EventStream(shard.events + global_events),
+                InputFluents(sub_fluents),
+                window_start,
+                query_time,
+                result,
+                pending=pending,
+                include_initially=include_initially,
+                merge_from=merge_from,
+            )
+            shard_warnings = (
+                shard_engine.runtime_warnings if shard_engine is not base_engine else []
+            )
+            return result, opened, shard_warnings
+
+        workers = min(self.jobs or 1, len(shards))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(run_shard, range(len(shards))))
+        next_pending: Dict[Term, int] = {}
+        for result, opened, shard_warnings in outcomes:
+            for pair, intervals in result.items():
+                self._result.merge(pair, intervals)
+            next_pending.update(opened)
+            self.engine.runtime_warnings.extend(shard_warnings)
+        return next_pending
 
     # -- queries ----------------------------------------------------------------
 

@@ -10,29 +10,44 @@ For every simple fluent schema the engine:
    a fluent has at most one value at a time);
 3. pairs initiations with terminations into maximal intervals
    (:func:`repro.intervals.make_intervals_from_points`).
+
+Rules are evaluated through the compiled plans of :mod:`repro.rtec.compile`:
+literal dispatch and functor keys are resolved once per rule, atemporal
+prefixes once per window, and seed events bind the rule via a plain dict
+build whenever the seed pattern allows it.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import Counter, defaultdict
 from typing import Dict, Iterator, List, Set, Tuple
 
 from repro import telemetry
 from repro.intervals import IntervalList
 from repro.intervals.pairing import pair_intervals
 from repro.logic.knowledge import KnowledgeBase
-from repro.logic.parser import Literal, Rule
+from repro.logic.parser import Rule
 from repro.logic.terms import (
     Compound,
     Constant,
     Term,
-    Variable,
+    intern_constant,
     is_fvp,
     is_ground,
 )
 from repro.logic.unification import Substitution, unify
-from repro.rtec.builtins import evaluate_comparison, is_comparison
-from repro.rtec.description import SimpleFluentDef, head_fvp
+from repro.rtec.builtins import evaluate_comparison
+from repro.rtec.compile import (
+    BACKGROUND,
+    COMPARE,
+    HAPPENS,
+    HOLDS,
+    CompiledLiteral,
+    CompiledRule,
+    compile_rule,
+    pattern_key as _pattern_key,
+)
+from repro.rtec.description import SimpleFluentDef
 from repro.rtec.errors import EvaluationError
 from repro.rtec.store import FluentStore
 from repro.rtec.stream import EventStream
@@ -97,13 +112,14 @@ def evaluate_simple_fluent(
                 if on_error is None:
                     raise
                 on_error("skipped rule %r: %s" % (rule.head, exc))
+        non_ground: List[Tuple[Term, int]] = []
         for pattern, time in pending:
             if is_ground(pattern):
                 terminations[pattern].add(time)
-                continue
-            for pair in initiations:
-                if unify(pattern, pair) is not None:
-                    terminations[pair].add(time)
+            else:
+                non_ground.append((pattern, time))
+        if non_ground:
+            _apply_universal_terminations(non_ground, initiations, terminations)
 
         # Value exclusivity: initiating F=V' terminates F=V for V' != V.
         by_fluent: Dict[Term, List[Term]] = defaultdict(list)
@@ -113,10 +129,20 @@ def evaluate_simple_fluent(
         for fluent, pairs in by_fluent.items():
             if len(pairs) < 2:
                 continue
+            # Aggregate once per fluent instead of the quadratic pair×pair
+            # walk: a point terminates F=V iff some *other* value is
+            # initiated there, i.e. its multiplicity across all values
+            # exceeds its multiplicity within F=V alone.
+            counts: Counter = Counter()
             for pair in pairs:
-                for other in pairs:
-                    if other != pair:
-                        terminations[pair].update(initiations[other])
+                counts.update(initiations[pair])
+            for pair in pairs:
+                own = initiations[pair]
+                extra = {
+                    t for t, c in counts.items() if c > (1 if t in own else 0)
+                }
+                if extra:
+                    terminations[pair].update(extra)
 
         result: Dict[Term, IntervalList] = {}
         open_initiations: Dict[Term, int] = {}
@@ -146,6 +172,46 @@ def evaluate_simple_fluent(
         return result, open_initiations
 
 
+def _apply_universal_terminations(
+    non_ground: List[Tuple[Term, int]],
+    initiations: Dict[Term, Set[int]],
+    terminations: Dict[Term, Set[int]],
+) -> None:
+    """Match non-ground termination patterns against initiated FVPs.
+
+    Initiations are indexed by fluent functor/arity (and, when available,
+    by the fluent's ground first argument), so each pattern only attempts
+    unification against same-schema FVPs instead of every grounding.
+    """
+    by_key: Dict[Tuple[str, int], List[Term]] = defaultdict(list)
+    by_first: Dict[Tuple[str, int, Term], List[Term]] = defaultdict(list)
+    for pair in initiations:
+        assert isinstance(pair, Compound)
+        fluent = pair.args[0]
+        try:
+            key = _pattern_key(fluent)
+        except EvaluationError:
+            continue
+        by_key[key].append(pair)
+        if isinstance(fluent, Compound):
+            by_first[key + (fluent.args[0],)].append(pair)
+    for pattern, time in non_ground:
+        assert isinstance(pattern, Compound)  # always an FVP (checked on compile)
+        fluent_pattern = pattern.args[0]
+        try:
+            key = _pattern_key(fluent_pattern)
+        except EvaluationError:
+            candidates: List[Term] = list(initiations)
+        else:
+            if isinstance(fluent_pattern, Compound) and is_ground(fluent_pattern.args[0]):
+                candidates = by_first.get(key + (fluent_pattern.args[0],), [])
+            else:
+                candidates = by_key.get(key, [])
+        for pair in candidates:
+            if unify(pattern, pair) is not None:
+                terminations[pair].add(time)
+
+
 def rule_firing_points(
     rule: Rule,
     stream: EventStream,
@@ -163,39 +229,71 @@ def rule_firing_points(
     may retain unbound variables (universal terminations); initiations must
     always be ground.
     """
-    if not rule.body:
-        return
-    first = rule.body[0]
-    if first.negated or not _is_happens_at(first.term):
-        raise EvaluationError(
-            "first condition of %r must be a positive happensAt" % (rule.head,)
-        )
-    head_pair, time_var = _destructure_head(rule)
-    event_pattern, time_pattern = first.term.args  # type: ignore[union-attr]
-    functor_key = _pattern_key(event_pattern)
+    plan = compile_rule(rule)
 
-    for event in stream.events_in_window(functor_key[0], functor_key[1], window_start, window_end):
-        subst = unify(event_pattern, event.term)
-        if subst is None:
-            continue
-        subst = unify(time_pattern, Constant(event.time), subst)
-        if subst is None:
-            continue
-        for final in _satisfy(rule.body[1:], subst, stream, kb, store, window_start, window_end):
-            pair = final.resolve(head_pair)
-            if require_ground and not is_ground(pair):
-                raise EvaluationError(
-                    "head FVP %r not ground after body evaluation of %r"
-                    % (pair, rule.head)
-                )
-            time_term = final.resolve(time_var)
-            if not isinstance(time_term, Constant) or not time_term.is_number:
-                raise EvaluationError("head time-point is not bound in %r" % (rule.head,))
-            yield pair, int(time_term.value)
+    # The atemporal prefix does not depend on the seed event: evaluate it
+    # once per window and share its solutions across every seed.
+    prefix: List[Substitution] = [Substitution()]
+    for literal in plan.hoisted:
+        prefix = [ext for s in prefix for ext in kb.query(literal.term, s)]
+        if not prefix:
+            return
+
+    head_pair, head_time = plan.head_pair, plan.head_time
+    fast = plan.seed_args is not None
+    single_prefix = len(prefix) == 1
+
+    for event in stream.events_in_window(
+        plan.seed_key[0], plan.seed_key[1], window_start, window_end
+    ):
+        time_const = intern_constant(event.time)
+        seeds: List[Substitution] = []
+        if fast:
+            # Distinct fresh variables: ground the seed by dict build. The
+            # stream index guarantees the functor/arity matches.
+            if plan.seed_args:
+                base = dict(zip(plan.seed_args, event.term.args))
+            else:
+                base = {}
+            base[plan.seed_time_var] = time_const
+            for p in prefix:
+                bindings = p._bindings
+                if bindings:
+                    merged = dict(bindings)
+                    merged.update(base)
+                elif single_prefix:
+                    merged = base
+                else:
+                    merged = dict(base)
+                seeds.append(Substitution._wrap(merged))
+        else:
+            for p in prefix:
+                subst = unify(plan.seed_event, event.term, p)
+                if subst is None:
+                    continue
+                subst = unify(plan.seed_time, time_const, subst)
+                if subst is not None:
+                    seeds.append(subst)
+        for subst in seeds:
+            for final in _satisfy(
+                plan.body, subst, stream, kb, store, window_start, window_end
+            ):
+                pair = final.resolve(head_pair)
+                if require_ground and not is_ground(pair):
+                    raise EvaluationError(
+                        "head FVP %r not ground after body evaluation of %r"
+                        % (pair, rule.head)
+                    )
+                time_term = final.resolve(head_time)
+                if not isinstance(time_term, Constant) or not time_term.is_number:
+                    raise EvaluationError(
+                        "head time-point is not bound in %r" % (rule.head,)
+                    )
+                yield pair, int(time_term.value)
 
 
 def _satisfy(
-    literals: Tuple[Literal, ...],
+    literals: Tuple[CompiledLiteral, ...],
     subst: Substitution,
     stream: EventStream,
     kb: KnowledgeBase,
@@ -207,13 +305,13 @@ def _satisfy(
     if not literals:
         yield subst
         return
-    literal, rest = literals[0], literals[1:]
-    for extended in _satisfy_one(literal, subst, stream, kb, store, window_start, window_end):
+    compiled, rest = literals[0], literals[1:]
+    for extended in _satisfy_one(compiled, subst, stream, kb, store, window_start, window_end):
         yield from _satisfy(rest, extended, stream, kb, store, window_start, window_end)
 
 
 def _satisfy_one(
-    literal: Literal,
+    compiled: CompiledLiteral,
     subst: Substitution,
     stream: EventStream,
     kb: KnowledgeBase,
@@ -221,45 +319,55 @@ def _satisfy_one(
     window_start: int,
     window_end: int,
 ) -> Iterator[Substitution]:
-    term = literal.term
-    if _is_happens_at(term):
-        yield from _satisfy_happens_at(literal, subst, stream, window_start, window_end)
-    elif _is_holds_at(term):
-        yield from _satisfy_holds_at(literal, subst, store)
-    elif is_comparison(term):
+    tag = compiled.tag
+    if tag == HAPPENS:
+        yield from _satisfy_happens_at(compiled, subst, stream, window_start, window_end)
+    elif tag == HOLDS:
+        yield from _satisfy_holds_at(compiled, subst, store)
+    elif tag == COMPARE:
+        literal = compiled.literal
         if literal.negated:
-            if not evaluate_comparison(term, subst):
+            if not evaluate_comparison(literal.term, subst):
                 yield subst
-        elif evaluate_comparison(term, subst):
+        elif evaluate_comparison(literal.term, subst):
             yield subst
     else:
         # Atemporal background predicate.
+        literal = compiled.literal
         if literal.negated:
-            if not kb.holds(term, subst):
+            if not kb.holds(literal.term, subst):
                 yield subst
         else:
-            yield from kb.query(term, subst)
+            yield from kb.query(literal.term, subst)
 
 
 def _satisfy_happens_at(
-    literal: Literal,
+    compiled: CompiledLiteral,
     subst: Substitution,
     stream: EventStream,
     window_start: int,
     window_end: int,
 ) -> Iterator[Substitution]:
+    literal = compiled.literal
     event_pattern, time_pattern = literal.term.args  # type: ignore[union-attr]
-    functor, arity = _pattern_key(subst.resolve(event_pattern))
+    key = compiled.key
+    if key is None:
+        key = _pattern_key(subst.resolve(event_pattern))
+    first = None
+    if isinstance(event_pattern, Compound):
+        first_arg = subst.resolve(event_pattern.args[0])
+        if is_ground(first_arg):
+            first = first_arg
     time_term = subst.resolve(time_pattern)
     if isinstance(time_term, Constant) and time_term.is_number:
-        candidates = stream.events_at(functor, arity, int(time_term.value))
+        candidates = stream.events_at(key[0], key[1], int(time_term.value), first)
     else:
-        candidates = stream.events_in_window(functor, arity, window_start, window_end)
+        candidates = stream.events_in_window(key[0], key[1], window_start, window_end, first)
     if literal.negated:
         for event in candidates:
             if (
                 unify(event_pattern, event.term, subst) is not None
-                and unify(time_pattern, Constant(event.time), subst) is not None
+                and unify(time_pattern, intern_constant(event.time), subst) is not None
             ):
                 return
         yield subst
@@ -268,14 +376,15 @@ def _satisfy_happens_at(
         extended = unify(event_pattern, event.term, subst)
         if extended is None:
             continue
-        extended = unify(time_pattern, Constant(event.time), extended)
+        extended = unify(time_pattern, intern_constant(event.time), extended)
         if extended is not None:
             yield extended
 
 
 def _satisfy_holds_at(
-    literal: Literal, subst: Substitution, store: FluentStore
+    compiled: CompiledLiteral, subst: Substitution, store: FluentStore
 ) -> Iterator[Substitution]:
+    literal = compiled.literal
     pair_pattern = subst.resolve(literal.term.args[0])  # type: ignore[union-attr]
     time_term = subst.resolve(literal.term.args[1])  # type: ignore[union-attr]
     if not (isinstance(time_term, Constant) and time_term.is_number):
@@ -296,35 +405,12 @@ def _satisfy_holds_at(
             "negated holdsAt requires ground arguments: %r" % (literal.term,)
         )
     assert isinstance(pair_pattern, Compound)
-    key = _pattern_key(pair_pattern.args[0])
+    key = compiled.key
+    if key is None:
+        key = _pattern_key(pair_pattern.args[0])
     for pair, intervals in store.instances(key):
         if not intervals.holds_at(time):
             continue
         extended = unify(pair_pattern, pair, subst)
         if extended is not None:
             yield extended
-
-
-def _is_happens_at(term: Term) -> bool:
-    return isinstance(term, Compound) and term.functor == "happensAt" and term.arity == 2
-
-
-def _is_holds_at(term: Term) -> bool:
-    return isinstance(term, Compound) and term.functor == "holdsAt" and term.arity == 2
-
-
-def _destructure_head(rule: Rule) -> Tuple[Term, Term]:
-    head = rule.head
-    assert isinstance(head, Compound)
-    pair = head.args[0]
-    if not is_fvp(pair):
-        raise EvaluationError("rule head without an FVP: %r" % (head,))
-    return pair, head.args[1]
-
-
-def _pattern_key(term: Term) -> Tuple[str, int]:
-    if isinstance(term, Compound):
-        return term.functor, term.arity
-    if isinstance(term, Constant) and isinstance(term.value, str):
-        return term.value, 0
-    raise EvaluationError("cannot determine functor of pattern %r" % (term,))

@@ -104,7 +104,7 @@ def _evaluate_rule(
 def _seed_substitutions(rule: Rule, store: FluentStore) -> List[Substitution]:
     """Candidate variable bindings for one rule (see module docstring)."""
     seeds: List[Substitution] = [Substitution()]
-    seen: Set[str] = {repr(seeds[0])}
+    seen: Set[frozenset] = {frozenset()}
     for literal in rule.body:
         term = literal.term
         if not (isinstance(term, Compound) and term.functor == "holdsFor" and term.arity == 2):
@@ -113,7 +113,7 @@ def _seed_substitutions(rule: Rule, store: FluentStore) -> List[Substitution]:
         if not is_fvp(pair_pattern):
             continue
         for bound, _intervals in _match_instances(pair_pattern, Substitution(), store):
-            key = repr(sorted((v.name, repr(t)) for v, t in bound.items()))
+            key = frozenset(bound.items())
             if key not in seen:
                 seen.add(key)
                 seeds.append(bound)

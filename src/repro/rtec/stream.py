@@ -14,13 +14,16 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from collections import defaultdict
-from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from repro.intervals import IntervalList
 from repro.logic.terms import Compound, Constant, Term, is_ground
 
-__all__ = ["Event", "EventStream", "InputFluents"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.rtec.partition import PartitionAnalysis
+
+__all__ = ["Event", "EventStream", "InputFluents", "InputShard", "partition_input"]
 
 
 @dataclass(frozen=True)
@@ -64,6 +67,11 @@ class EventStream:
     def __init__(self, events: Iterable[Event] = ()) -> None:
         self._by_functor: Dict[Tuple[str, int], List[Event]] = defaultdict(list)
         self._times_by_functor: Dict[Tuple[str, int], List[int]] = {}
+        # First-argument index: events of one functor restricted to one
+        # entity (``velocity(v12, ...)``) — body conditions with a bound
+        # entity argument and the stream partitioner both use it.
+        self._by_entity: Dict[Tuple[str, int, Term], List[Event]] = defaultdict(list)
+        self._entity_times: Dict[Tuple[str, int, Term], List[int]] = {}
         # One global sort; the per-functor buckets inherit its order (the
         # bucketing pass below is order-preserving), and iteration reuses
         # the merged list instead of re-sorting the stream on every call.
@@ -72,9 +80,14 @@ class EventStream:
         self._min_time: Optional[int] = self._sorted[0].time if self._sorted else None
         self._max_time: Optional[int] = self._sorted[-1].time if self._sorted else None
         for event in self._sorted:
-            self._by_functor[(event.functor, event.arity)].append(event)
+            key = (event.functor, event.arity)
+            self._by_functor[key].append(event)
+            if isinstance(event.term, Compound):
+                self._by_entity[key + (event.term.args[0],)].append(event)
         for key, bucket in self._by_functor.items():
             self._times_by_functor[key] = [e.time for e in bucket]
+        for ekey, bucket in self._by_entity.items():
+            self._entity_times[ekey] = [e.time for e in bucket]
 
     @property
     def min_time(self) -> Optional[int]:
@@ -98,25 +111,43 @@ class EventStream:
         return total
 
     def events_in_window(
-        self, functor: str, arity: int, start: int, end: int
+        self, functor: str, arity: int, start: int, end: int, first: Optional[Term] = None
     ) -> Iterator[Event]:
-        """Events named ``functor/arity`` with ``start < time <= end`` (RTEC window)."""
-        key = (functor, arity)
-        bucket = self._by_functor.get(key)
-        if not bucket:
-            return iter(())
-        times = self._times_by_functor[key]
+        """Events named ``functor/arity`` with ``start < time <= end`` (RTEC window).
+
+        ``first``, when given, restricts the scan to events whose first
+        argument is that ground term (first-argument indexing).
+        """
+        if first is not None and arity > 0:
+            key = (functor, arity, first)
+            bucket = self._by_entity.get(key)
+            if not bucket:
+                return iter(())
+            times = self._entity_times[key]
+        else:
+            bucket = self._by_functor.get((functor, arity))
+            if not bucket:
+                return iter(())
+            times = self._times_by_functor[(functor, arity)]
         lo = bisect_right(times, start)
         hi = bisect_right(times, end)
         return iter(bucket[lo:hi])
 
-    def events_at(self, functor: str, arity: int, time: int) -> Iterator[Event]:
+    def events_at(
+        self, functor: str, arity: int, time: int, first: Optional[Term] = None
+    ) -> Iterator[Event]:
         """Events named ``functor/arity`` occurring exactly at ``time``."""
-        key = (functor, arity)
-        bucket = self._by_functor.get(key)
-        if not bucket:
-            return iter(())
-        times = self._times_by_functor[key]
+        if first is not None and arity > 0:
+            key = (functor, arity, first)
+            bucket = self._by_entity.get(key)
+            if not bucket:
+                return iter(())
+            times = self._entity_times[key]
+        else:
+            bucket = self._by_functor.get((functor, arity))
+            if not bucket:
+                return iter(())
+            times = self._times_by_functor[(functor, arity)]
         lo = bisect_left(times, time)
         hi = bisect_right(times, time)
         return iter(bucket[lo:hi])
@@ -149,3 +180,104 @@ class InputFluents:
 
     def __contains__(self, fvp_term: Term) -> bool:
         return fvp_term in self._intervals
+
+
+@dataclass
+class InputShard:
+    """One entity component's slice of the input (plus, at execution time,
+    a copy of the global items every shard receives)."""
+
+    entities: FrozenSet[Term]
+    events: List[Event] = field(default_factory=list)
+    fluents: Dict[Term, IntervalList] = field(default_factory=dict)
+    initial_fvps: List[Term] = field(default_factory=list)
+
+
+def partition_input(
+    stream: EventStream,
+    input_fluents: InputFluents,
+    analysis: "PartitionAnalysis",
+    initial_fvps: Iterable[Term] = (),
+    extra_entities: Iterable[Tuple[Term, ...]] = (),
+) -> Tuple[List[InputShard], List[Event], Dict[Term, IntervalList], List[Term]]:
+    """Split the input by entity key according to a partitionability analysis.
+
+    Entities mentioned together by one input item (a ``proximity(V1,V2)``
+    interval, a multi-entity event) must be recognised together: the
+    partitioner unions them and produces one :class:`InputShard` per
+    connected component, ordered deterministically. Items of global (entity
+    free) schemas are returned separately — the executor replicates them to
+    every shard, where their derivations are identical and merge
+    idempotently.
+
+    ``extra_entities`` are additional entity tuples to co-locate (and keep
+    alive as components) even when absent from this input — online sessions
+    pass the entities of carried open initiations here.
+
+    Returns ``(shards, global events, global fluents, global initial FVPs)``.
+    """
+    parent: Dict[Term, Term] = {}
+
+    def find(term: Term) -> Term:
+        while parent[term] is not term:
+            parent[term] = parent[parent[term]]
+            term = parent[term]
+        return term
+
+    def union(items: Tuple[Term, ...]) -> None:
+        for term in items:
+            parent.setdefault(term, term)
+        for left, right in zip(items, items[1:]):
+            root_left, root_right = find(left), find(right)
+            if root_left is not root_right:
+                parent[root_left] = root_right
+
+    keyed_events: List[Tuple[Event, Term]] = []
+    global_events: List[Event] = []
+    for event in stream:
+        entities = analysis.event_entities(event.term)
+        if not entities:
+            global_events.append(event)
+            continue
+        union(entities)
+        keyed_events.append((event, entities[0]))
+
+    keyed_fluents: List[Tuple[Term, IntervalList, Term]] = []
+    global_fluents: Dict[Term, IntervalList] = {}
+    for pair, intervals in input_fluents.items():
+        entities = analysis.fvp_entities(pair)
+        if not entities:
+            global_fluents[pair] = intervals
+            continue
+        union(entities)
+        keyed_fluents.append((pair, intervals, entities[0]))
+
+    for entities in extra_entities:
+        if entities:
+            union(entities)
+
+    keyed_initials: List[Tuple[Term, Term]] = []
+    global_initials: List[Term] = []
+    for pair in initial_fvps:
+        entities = analysis.fvp_entities(pair)
+        if not entities:
+            global_initials.append(pair)
+            continue
+        union(entities)
+        keyed_initials.append((pair, entities[0]))
+
+    members: Dict[Term, List[Term]] = defaultdict(list)
+    for term in parent:
+        members[find(term)].append(term)
+    shards: List[InputShard] = []
+    shard_of: Dict[Term, int] = {}
+    for root in sorted(members, key=repr):
+        shard_of[root] = len(shards)
+        shards.append(InputShard(entities=frozenset(members[root])))
+    for event, entity in keyed_events:
+        shards[shard_of[find(entity)]].events.append(event)
+    for pair, intervals, entity in keyed_fluents:
+        shards[shard_of[find(entity)]].fluents[pair] = intervals
+    for pair, entity in keyed_initials:
+        shards[shard_of[find(entity)]].initial_fvps.append(pair)
+    return shards, global_events, global_fluents, global_initials

@@ -16,8 +16,9 @@ Design constraints:
   within noise (<2% on the RTEC scaling bench);
 * **zero dependencies** — standard library only (``time.perf_counter``
   monotonic timings, plain dicts);
-* **nestable** — spans form a tree via a tracer-local stack, so a window
-  span contains the per-fluent evaluation spans it triggered.
+* **nestable** — spans form a tree via a per-thread span stack, so a
+  window span contains the per-fluent evaluation spans it triggered, and
+  the sharded executor's worker threads each grow their own root spans.
 
 Typical use::
 

@@ -2,9 +2,10 @@
 
 A :class:`Span` is one timed region with attributes (set at entry or via
 :meth:`Span.set`), named counters, and child spans. A :class:`Tracer` owns
-a stack of open spans and the forest of finished root spans; it is not
-thread-safe — the recognition stack is single-threaded, and per-thread
-tracers are the caller's concern.
+a stack of open spans and the forest of finished root spans. The stack is
+per-thread: spans opened by worker threads (the sharded executor's thread
+pool) nest within that thread's own spans and finish as additional roots,
+so concurrent windows cannot corrupt each other's trees.
 
 The module-level functions (:func:`span`, :func:`count`) are what
 instrumented code calls. When no tracer is active they return shared no-op
@@ -14,6 +15,7 @@ read and a ``None`` check.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional
@@ -128,7 +130,17 @@ class Tracer:
     def __init__(self) -> None:
         self.roots: List[Span] = []
         self.counters: Dict[str, int] = {}
-        self._stack: List[Span] = []
+        # Open spans, per thread: a span must close on the thread that
+        # opened it, and the finished forest in ``roots`` (append-only,
+        # atomic under the GIL) merges all threads' trees.
+        self._local = threading.local()
+
+    @property
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def span(self, name: str, **attrs: Any) -> Span:
         """Create a span; it only starts timing when entered."""
@@ -150,7 +162,7 @@ class Tracer:
     def reset(self) -> None:
         self.roots = []
         self.counters = {}
-        self._stack = []
+        self._local = threading.local()
 
     def report(self) -> "TelemetryReport":
         from repro.telemetry.report import TelemetryReport

@@ -1,0 +1,201 @@
+"""Tests for the static partitionability analysis and the stream partitioner."""
+
+import pytest
+
+from repro.intervals import IntervalList
+from repro.logic.parser import parse_term
+from repro.maritime import build_dataset, gold_event_description
+from repro.rtec import (
+    Event,
+    EventDescription,
+    EventStream,
+    InputFluents,
+    RTECEngine,
+    analyse_partitionability,
+    partition_input,
+)
+
+PER_VESSEL_RULES = """
+initiatedAt(f(V)=true, T) :- happensAt(start(V), T).
+terminatedAt(f(V)=true, T) :- happensAt(stop(V), T).
+"""
+
+PAIR_RULES = """
+initiatedAt(rendezVous(V1, V2)=true, T) :-
+    happensAt(stopStart(V1), T),
+    holdsAt(proximity(V1, V2)=true, T).
+terminatedAt(rendezVous(V1, V2)=true, T) :-
+    happensAt(split(V1, V2), T).
+"""
+
+#: The second initiatedAt rule places the constant ``harbour`` at the entity
+#: position of f/1, so firings cannot be attributed to one entity.
+NON_SHARDABLE_RULES = """
+initiatedAt(f(V)=true, T) :- happensAt(start(V), T).
+initiatedAt(f(harbour)=true, T) :- happensAt(alarm, T).
+terminatedAt(f(V)=true, T) :- happensAt(stop(V), T).
+"""
+
+#: anyActive/0 is a global fluent derived from the entity-sharded start/1
+#: events: every shard would need the whole stream (C3 violation).
+AGGREGATING_RULES = """
+initiatedAt(f(V)=true, T) :- happensAt(start(V), T).
+terminatedAt(f(V)=true, T) :- happensAt(stop(V), T).
+initiatedAt(anyActive=true, T) :- happensAt(start(V), T).
+terminatedAt(anyActive=true, T) :- happensAt(allQuiet, T).
+"""
+
+
+def _event(t, text):
+    return Event(t, parse_term(text))
+
+
+class TestAnalysis:
+    def test_per_vessel_description_is_shardable(self):
+        analysis = analyse_partitionability(
+            EventDescription.from_text(PER_VESSEL_RULES)
+        )
+        assert analysis.shardable
+        assert analysis.diagnostics == ()
+        assert analysis.event_positions[("start", 1)] == frozenset({0})
+        assert analysis.fluent_positions[("f", 1)] == frozenset({0})
+
+    def test_gold_description_is_shardable(self):
+        analysis = gold_event_description().partitionability()
+        assert analysis.shardable, analysis.diagnostics
+
+    def test_pair_join_entities(self):
+        analysis = analyse_partitionability(EventDescription.from_text(PAIR_RULES))
+        assert analysis.shardable
+        assert analysis.fluent_positions[("proximity", 2)] == frozenset({0, 1})
+        assert analysis.fluent_positions[("rendezVous", 2)] == frozenset({0, 1})
+        pair = parse_term("proximity(v1, v2)=true")
+        assert analysis.fvp_entities(pair) == (
+            parse_term("v1"),
+            parse_term("v2"),
+        )
+
+    def test_constant_at_entity_position_is_rejected(self):
+        analysis = analyse_partitionability(
+            EventDescription.from_text(NON_SHARDABLE_RULES)
+        )
+        assert not analysis.shardable
+        assert any("entity position" in d for d in analysis.diagnostics)
+        assert any("harbour" in d for d in analysis.diagnostics)
+
+    def test_global_head_over_sharded_body_is_rejected(self):
+        analysis = analyse_partitionability(
+            EventDescription.from_text(AGGREGATING_RULES)
+        )
+        assert not analysis.shardable
+        assert any("global fluent" in d for d in analysis.diagnostics)
+
+    def test_global_events_carry_no_entities(self):
+        analysis = analyse_partitionability(
+            EventDescription.from_text(NON_SHARDABLE_RULES)
+        )
+        assert analysis.event_entities(parse_term("alarm")) == ()
+
+
+class TestPartitioner:
+    def test_pair_fluents_shard_by_pair_key(self):
+        analysis = analyse_partitionability(EventDescription.from_text(PAIR_RULES))
+        stream = EventStream(
+            [
+                _event(5, "stopStart(v1)"),
+                _event(5, "stopStart(v3)"),
+                _event(9, "split(v1, v2)"),
+                _event(9, "split(v3, v4)"),
+            ]
+        )
+        fluents = InputFluents(
+            {
+                parse_term("proximity(v1, v2)=true"): IntervalList([(1, 20)]),
+                parse_term("proximity(v3, v4)=true"): IntervalList([(1, 20)]),
+            }
+        )
+        shards, global_events, global_fluents, global_initials = partition_input(
+            stream, fluents, analysis
+        )
+        assert len(shards) == 2
+        assert not global_events and not global_fluents and not global_initials
+        keys = sorted(frozenset(map(repr, shard.entities)) for shard in shards)
+        assert keys == [
+            frozenset({"v1", "v2"}),
+            frozenset({"v3", "v4"}),
+        ]
+        for shard in shards:
+            assert len(shard.events) == 2
+            assert len(shard.fluents) == 1
+
+    def test_overlapping_pairs_merge_into_one_component(self):
+        analysis = analyse_partitionability(EventDescription.from_text(PAIR_RULES))
+        fluents = InputFluents(
+            {
+                parse_term("proximity(v1, v2)=true"): IntervalList([(1, 20)]),
+                parse_term("proximity(v2, v3)=true"): IntervalList([(5, 25)]),
+            }
+        )
+        shards, _events, _fluents, _initials = partition_input(
+            EventStream(), fluents, analysis
+        )
+        assert len(shards) == 1
+        assert {repr(e) for e in shards[0].entities} == {"v1", "v2", "v3"}
+
+    def test_extra_entities_keep_components_alive(self):
+        analysis = analyse_partitionability(
+            EventDescription.from_text(PER_VESSEL_RULES)
+        )
+        shards, _events, _fluents, _initials = partition_input(
+            EventStream([_event(5, "start(v1)")]),
+            InputFluents(),
+            analysis,
+            extra_entities=[(parse_term("v9"),)],
+        )
+        assert len(shards) == 2
+
+
+class TestSequentialFallback:
+    def test_non_shardable_recognise_warns_and_matches_sequential(self):
+        description = EventDescription.from_text(NON_SHARDABLE_RULES)
+        events = [
+            _event(2, "start(v1)"),
+            _event(3, "alarm"),
+            _event(7, "stop(v1)"),
+            _event(9, "stop(harbour)"),
+        ]
+        sequential = RTECEngine(description, strict=False).recognise(
+            EventStream(events), window=10
+        )
+        engine = RTECEngine(description, strict=False)
+        with pytest.warns(RuntimeWarning, match="not entity-shardable"):
+            sharded = engine.recognise(EventStream(events), window=10, jobs=4)
+        assert dict(sharded.items()) == dict(sequential.items())
+        assert any("not entity-shardable" in w for w in engine.runtime_warnings)
+
+    def test_non_shardable_session_warns_once(self):
+        from repro.rtec.session import RTECSession
+
+        description = EventDescription.from_text(NON_SHARDABLE_RULES)
+        session = RTECSession(RTECEngine(description, strict=False), window=10, jobs=4)
+        session.submit([_event(2, "start(v1)"), _event(3, "start(v2)")])
+        with pytest.warns(RuntimeWarning, match="advances sequentially"):
+            session.advance(10)
+        session.submit([_event(12, "stop(v1)")])
+        session.advance(20)  # no second warning
+        assert (
+            sum("advances sequentially" in w for w in session.engine.runtime_warnings)
+            == 1
+        )
+        assert session.holds_for("f(v1)=true").as_pairs() == [(3, 12)]
+
+    def test_sharded_gold_recognition_matches_sequential(self):
+        dataset = build_dataset(seed=0, scale=0.05, traffic=2)
+        gold = gold_event_description()
+        sequential = RTECEngine(gold, dataset.kb, dataset.vocabulary).recognise(
+            dataset.stream, dataset.input_fluents, window=600
+        )
+        sharded = RTECEngine(gold, dataset.kb, dataset.vocabulary).recognise(
+            dataset.stream, dataset.input_fluents, window=600, jobs=4
+        )
+        assert dict(sharded.items()) == dict(sequential.items())
