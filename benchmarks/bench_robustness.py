@@ -10,7 +10,6 @@ Run:  pytest benchmarks/bench_robustness.py --benchmark-only -s
 import pytest
 
 from repro.experiments.robustness import format_table, run_robustness
-from repro.maritime.gold import COMPOSITE_ACTIVITIES
 
 
 @pytest.fixture(scope="module")

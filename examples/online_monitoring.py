@@ -11,7 +11,7 @@ Run:  python examples/online_monitoring.py [--scale 0.25] [--window 1800]
 """
 
 import argparse
-from typing import Dict, Set, Tuple
+from typing import Set, Tuple
 
 from repro.maritime import COMPOSITE_ACTIVITIES, build_dataset, gold_event_description
 from repro.rtec import RTECEngine, RTECSession

@@ -33,8 +33,6 @@ Quickstart::
         print(pair, intervals)
 """
 
-__version__ = "1.0.0"
-
 from repro.rtec import (
     Event,
     EventDescription,
@@ -50,6 +48,8 @@ from repro.similarity import (
     rule_distance,
     rule_similarity,
 )
+
+__version__ = "1.0.0"
 
 __all__ = [
     "__version__",

@@ -1,0 +1,260 @@
+"""Binding-order dataflow analysis of individual rules.
+
+A rule body is a conjunction evaluated left to right (Definition 2.2); the
+evaluators in :mod:`repro.rtec.simple` and :mod:`repro.rtec.static` raise
+:class:`~repro.rtec.errors.EvaluationError` the moment a builtin receives
+an unbound variable. This module simulates that evaluation symbolically —
+tracking which variables each positive condition binds — and reports every
+condition that is *guaranteed* to fail at run time, plus head variables no
+body condition can ever bind.
+
+The simulation is exact with respect to the runtime for this rule dialect:
+
+* positive ``happensAt``/``holdsAt``/background conditions bind all their
+  variables (stream matching and knowledge-base queries only yield ground
+  extensions);
+* negated conditions and comparisons bind nothing;
+* the hoisting of atemporal prefixes in :mod:`repro.rtec.compile` only
+  moves conditions that share no variables with later conditions, so it
+  cannot change which variables are bound when a comparison is evaluated.
+
+``holdsFor`` rule bodies have no textual-order variable binding (the seed
+pass of :mod:`repro.rtec.static` grounds them up front), so for static
+rules the analysis checks head groundability and interval-variable
+single-assignment instead.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from repro.logic.parser import Rule
+from repro.logic.terms import Compound, Constant, Term, Variable, is_fvp, term_variables
+from repro.rtec.builtins import EVALUABLE_FUNCTORS, is_comparison
+from repro.rtec.description import INTERVAL_CONSTRUCTS
+
+__all__ = [
+    "BindingIssue",
+    "arithmetic_arity",
+    "check_rule",
+    "check_simple_rule",
+    "check_static_rule",
+]
+
+
+@dataclass(frozen=True)
+class BindingIssue:
+    """One dataflow problem in a rule.
+
+    ``category`` is a diagnostic category (``"unbound-variable"``,
+    ``"unsafe-head"`` or ``"wrong-arity"``); ``condition_index`` is the
+    0-based body position, or ``None`` for problems anchored at the head.
+    """
+
+    category: str
+    message: str
+    condition_index: Optional[int] = None
+
+
+def arithmetic_arity(functor: str) -> Optional[int]:
+    """The expected arity of an evaluable functor, or ``None`` if unknown."""
+    fn = EVALUABLE_FUNCTORS.get(functor)
+    if fn is None:
+        return None
+    return len(inspect.signature(fn).parameters)
+
+
+def _is(term: Term, functor: str, arity: int) -> bool:
+    return isinstance(term, Compound) and term.functor == functor and term.arity == arity
+
+
+def check_rule(rule: Rule) -> List[BindingIssue]:
+    """Dispatch on the rule head; rules of unknown shape yield no issues
+    (the structural pass reports those as malformed)."""
+    head = rule.head
+    if not isinstance(head, Compound) or head.arity != 2:
+        return []
+    if head.functor in ("initiatedAt", "terminatedAt"):
+        return check_simple_rule(rule)
+    if head.functor == "holdsFor":
+        return check_static_rule(rule)
+    return []
+
+
+def _check_expression(
+    term: Term,
+    bound: Set[Variable],
+    index: int,
+    comparison: Term,
+    issues: List[BindingIssue],
+) -> None:
+    """Check one side of a comparison: every variable bound, every functor
+    evaluable with the right arity, every constant numeric."""
+    if isinstance(term, Variable):
+        if term not in bound:
+            issues.append(
+                BindingIssue(
+                    "unbound-variable",
+                    "unbound variable %r reaches comparison %r (not bound by "
+                    "any earlier condition)" % (term.name, comparison),
+                    index,
+                )
+            )
+    elif isinstance(term, Constant):
+        if not term.is_number:
+            issues.append(
+                BindingIssue(
+                    "unbound-variable",
+                    "non-numeric constant %r in arithmetic expression of %r"
+                    % (term.value, comparison),
+                    index,
+                )
+            )
+    elif isinstance(term, Compound):
+        expected = arithmetic_arity(term.functor)
+        if expected is None:
+            issues.append(
+                BindingIssue(
+                    "wrong-arity",
+                    "unknown arithmetic functor %s/%d in %r"
+                    % (term.functor, term.arity, comparison),
+                    index,
+                )
+            )
+        elif term.arity != expected:
+            issues.append(
+                BindingIssue(
+                    "wrong-arity",
+                    "arithmetic functor %s expects %d argument(s), got %d in %r"
+                    % (term.functor, expected, term.arity, comparison),
+                    index,
+                )
+            )
+        for arg in term.args:
+            _check_expression(arg, bound, index, comparison, issues)
+
+
+def check_simple_rule(rule: Rule) -> List[BindingIssue]:
+    """Left-to-right dataflow over an ``initiatedAt``/``terminatedAt`` body."""
+    issues: List[BindingIssue] = []
+    body = rule.body
+    if not body or body[0].negated or not _is(body[0].term, "happensAt", 2):
+        return issues  # structurally malformed; the structural pass reports it
+    bound: Set[Variable] = set(term_variables(body[0].term))
+    for index, literal in enumerate(body[1:], start=1):
+        term = literal.term
+        if _is(term, "happensAt", 2):
+            if not literal.negated:
+                bound |= set(term_variables(term))
+        elif _is(term, "holdsAt", 2):
+            pair, time = term.args
+            for var in sorted(set(term_variables(time)) - bound, key=lambda v: v.name):
+                issues.append(
+                    BindingIssue(
+                        "unbound-variable",
+                        "unbound variable %r as holdsAt time-point in %r"
+                        % (var.name, term),
+                        index,
+                    )
+                )
+            if literal.negated:
+                unbound = sorted(set(term_variables(pair)) - bound, key=lambda v: v.name)
+                for var in unbound:
+                    issues.append(
+                        BindingIssue(
+                            "unbound-variable",
+                            "negated holdsAt requires ground arguments: unbound "
+                            "variable %r in %r" % (var.name, term),
+                            index,
+                        )
+                    )
+            else:
+                bound |= set(term_variables(term))
+        elif is_comparison(term):
+            assert isinstance(term, Compound)
+            for side in term.args:
+                _check_expression(side, bound, index, term, issues)
+        elif _is(term, "holdsFor", 2) or (
+            isinstance(term, Compound) and term.functor in INTERVAL_CONSTRUCTS
+        ):
+            continue  # not allowed in simple rules; structural pass reports it
+        elif not literal.negated:
+            # Positive atemporal background predicate: binds its variables.
+            bound |= set(term_variables(term))
+    head = rule.head
+    assert isinstance(head, Compound)
+    head_pair, head_time = head.args
+    for var in sorted(set(term_variables(head_time)) - bound, key=lambda v: v.name):
+        issues.append(
+            BindingIssue(
+                "unsafe-head",
+                "head time-point variable %r of %r is never bound in the body"
+                % (var.name, head),
+            )
+        )
+    if head.functor == "initiatedAt":
+        # Universal terminations may keep head variables free; initiations
+        # must be ground after body evaluation (repro.rtec.simple).
+        for var in sorted(set(term_variables(head_pair)) - bound, key=lambda v: v.name):
+            issues.append(
+                BindingIssue(
+                    "unsafe-head",
+                    "head variable %r of %r is never bound in the body "
+                    "(initiations must be ground)" % (var.name, head),
+                )
+            )
+    return issues
+
+
+def check_static_rule(rule: Rule) -> List[BindingIssue]:
+    """Groundability and interval single-assignment for a ``holdsFor`` body."""
+    issues: List[BindingIssue] = []
+    term_bound: Set[Variable] = set()
+    interval_bound: Set[Variable] = set()
+
+    def bind_output(out: Term, index: int) -> None:
+        if isinstance(out, Variable):
+            if out in interval_bound:
+                issues.append(
+                    BindingIssue(
+                        "unbound-variable",
+                        "interval variable %r is bound more than once" % out.name,
+                        index,
+                    )
+                )
+            interval_bound.add(out)
+
+    for index, literal in enumerate(rule.body):
+        term = literal.term
+        if literal.negated:
+            continue  # malformed in static rules; structural pass reports it
+        if _is(term, "holdsFor", 2):
+            assert isinstance(term, Compound)
+            pair, out = term.args
+            term_bound |= set(term_variables(pair))
+            bind_output(out, index)
+        elif isinstance(term, Compound) and term.functor in INTERVAL_CONSTRUCTS:
+            if term.arity != INTERVAL_CONSTRUCTS[term.functor]:
+                continue  # arity misuse reported by the structural/arity passes
+            bind_output(term.args[-1], index)
+        elif _is(term, "happensAt", 2) or _is(term, "holdsAt", 2):
+            continue  # malformed in static rules; structural pass reports it
+        else:
+            # Atemporal background predicate: binds its variables.
+            term_bound |= set(term_variables(term))
+    head = rule.head
+    assert isinstance(head, Compound)
+    head_pair = head.args[0]
+    if is_fvp(head_pair):
+        unbound = sorted(set(term_variables(head_pair)) - term_bound, key=lambda v: v.name)
+        for var in unbound:
+            issues.append(
+                BindingIssue(
+                    "unsafe-head",
+                    "holdsFor head variable %r of %r occurs in no body "
+                    "condition (the head cannot become ground)" % (var.name, head),
+                )
+            )
+    return issues

@@ -1,0 +1,76 @@
+"""Application of machine-applicable fixes to rule sets.
+
+The naming pass attaches :class:`~repro.analysis.diagnostics.Fix` objects
+(functor/constant renames) to its diagnostics; this module turns a batch of
+fixes into rename maps and rewrites rules accordingly. The correction step
+(:mod:`repro.generation.correction`) shares these rewriters so that lint
+fixes and correction apply identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.logic.parser import Literal, Rule
+from repro.logic.terms import Compound, Constant, Term
+
+__all__ = ["rewrite_term", "rewrite_rule", "rewrite_rules", "fix_maps", "apply_fixes"]
+
+
+def rewrite_term(
+    term: Term, functor_map: Mapping[str, str], constant_map: Mapping[str, str]
+) -> Term:
+    """Rename functors and string constants throughout a term."""
+    if isinstance(term, Compound):
+        functor = functor_map.get(term.functor, term.functor)
+        return Compound(
+            functor,
+            tuple(rewrite_term(arg, functor_map, constant_map) for arg in term.args),
+        )
+    if isinstance(term, Constant) and isinstance(term.value, str):
+        renamed = constant_map.get(term.value)
+        if renamed is not None:
+            return Constant(renamed)
+    return term
+
+
+def rewrite_rule(
+    rule: Rule, functor_map: Mapping[str, str], constant_map: Mapping[str, str]
+) -> Rule:
+    return Rule(
+        rewrite_term(rule.head, functor_map, constant_map),
+        tuple(
+            Literal(rewrite_term(literal.term, functor_map, constant_map), literal.negated)
+            for literal in rule.body
+        ),
+    )
+
+
+def rewrite_rules(
+    rules: Sequence[Rule], functor_map: Mapping[str, str], constant_map: Mapping[str, str]
+) -> List[Rule]:
+    return [rewrite_rule(rule, functor_map, constant_map) for rule in rules]
+
+
+def fix_maps(diagnostics: Iterable[Diagnostic]) -> Tuple[Dict[str, str], Dict[str, str]]:
+    """Collect the rename maps of all fixable diagnostics."""
+    functor_map: Dict[str, str] = {}
+    constant_map: Dict[str, str] = {}
+    for diagnostic in diagnostics:
+        fix = diagnostic.fix
+        if fix is None:
+            continue
+        if fix.kind == "rename-functor":
+            functor_map.setdefault(fix.old, fix.new)
+        elif fix.kind == "rename-constant":
+            constant_map.setdefault(fix.old, fix.new)
+    return functor_map, constant_map
+
+
+def apply_fixes(rules: Sequence[Rule], diagnostics: Iterable[Diagnostic]) -> List[Rule]:
+    """Apply every fixable diagnostic to a rule set, returning new rules."""
+    functor_map, constant_map = fix_maps(diagnostics)
+    if not functor_map and not constant_map:
+        return list(rules)
+    return rewrite_rules(rules, functor_map, constant_map)

@@ -1,0 +1,62 @@
+"""String-distance helpers for name diagnostics and auto-fixes.
+
+The paper's first error category is *naming divergence*: generated rules
+that use case/underscore variants (``gapEnd`` vs ``gap_end``) or slightly
+misspelt forms of vocabulary names. These helpers resolve such names to
+their unique closest known name; both the analyser's naming pass and
+:mod:`repro.generation.correction` use them, so lint fixes and the
+correction step agree by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = ["levenshtein", "normalise", "closest"]
+
+
+def levenshtein(left: str, right: str) -> int:
+    """Edit distance (insert/delete/substitute), iterative two-row version."""
+    if left == right:
+        return 0
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    previous = list(range(len(right) + 1))
+    for i, l_ch in enumerate(left, start=1):
+        current = [i]
+        for j, r_ch in enumerate(right, start=1):
+            cost = 0 if l_ch == r_ch else 1
+            current.append(min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+def normalise(name: str) -> str:
+    """Case- and underscore-insensitive canonical form of a name."""
+    return name.replace("_", "").lower()
+
+
+def closest(name: str, candidates: Sequence[str], max_relative: float = 0.5) -> Optional[str]:
+    """The unique best candidate: exact normalised match, else smallest edit
+    distance within ``max_relative`` of the name length (ties unresolved)."""
+    normalised = normalise(name)
+    exact = [c for c in candidates if normalise(c) == normalised]
+    if len(exact) == 1:
+        return exact[0]
+    if len(exact) > 1:
+        return None
+    scored = sorted(
+        ((levenshtein(normalised, normalise(c)), c) for c in candidates),
+        key=lambda pair: (pair[0], pair[1]),
+    )
+    if not scored:
+        return None
+    best_distance, best = scored[0]
+    limit = max(1, int(max_relative * max(len(normalised), 1)))
+    if best_distance > limit:
+        return None
+    if len(scored) > 1 and scored[1][0] == best_distance:
+        return None  # ambiguous
+    return best

@@ -1,0 +1,172 @@
+"""The registry of coded lint rules.
+
+Each :class:`LintRule` documents one diagnostic code: its category name,
+default severity, a short title, an explanation, whether its diagnostics
+can carry an auto-fix, and — where applicable — the paper's error category
+from Section 5.2 ("Qualitative Error Assessment") it detects:
+
+1. naming divergence,
+2. wrong fluent type,
+3. undefined activity,
+4. wrong interval operator.
+
+Category 2 surfaces structurally (a fluent defined with the wrong rule
+shape violates Definition 2.2/2.4 — RTEC002) and category 4 through its
+downstream effects (arity misuse — RTEC009); a semantically *valid* swap
+of ``union_all`` for ``intersect_all`` is undetectable statically and is
+measured by Figure 2c instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.diagnostics import CATEGORY_CODES, Severity
+
+__all__ = ["LintRule", "LINT_RULES", "rule_for"]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """Documentation record of one lint code."""
+
+    code: str
+    category: str
+    severity: Severity
+    title: str
+    explanation: str
+    paper_category: Optional[int] = None
+    fixable: bool = False
+
+
+def _rule(code: str, title: str, explanation: str, paper_category: Optional[int] = None,
+          fixable: bool = False) -> LintRule:
+    category = next(c for c, (cd, _s) in CATEGORY_CODES.items() if cd == code)
+    severity = CATEGORY_CODES[category][1]
+    return LintRule(code, category, severity, title, explanation, paper_category, fixable)
+
+
+LINT_RULES: Dict[str, LintRule] = {
+    rule.code: rule
+    for rule in (
+        _rule(
+            "RTEC001",
+            "syntax error",
+            "The text is not in the supported RTEC dialect and failed to parse.",
+        ),
+        _rule(
+            "RTEC002",
+            "malformed rule",
+            "A rule violates Definition 2.2 or 2.4: wrong head predicate, "
+            "empty body, wrong first condition, negation or comparisons in a "
+            "holdsFor body, interval variables used before being bound, or a "
+            "malformed declaration.",
+            paper_category=2,
+        ),
+        _rule(
+            "RTEC003",
+            "undefined event",
+            "A happensAt condition refers to an event that is not in the "
+            "input vocabulary.",
+            paper_category=3,
+        ),
+        _rule(
+            "RTEC004",
+            "undefined fluent",
+            "A holdsAt/holdsFor condition refers to a fluent that is neither "
+            "an input fluent nor defined by the event description (the "
+            "paper's undefined-activity errors).",
+            paper_category=3,
+        ),
+        _rule(
+            "RTEC005",
+            "undefined background predicate",
+            "An atemporal condition has no matching background predicate in "
+            "the vocabulary.",
+            paper_category=3,
+        ),
+        _rule(
+            "RTEC006",
+            "cyclic fluent dependency",
+            "The fluent dependency graph contains a cycle (reported with the "
+            "full path); RTEC requires a hierarchy for bottom-up evaluation.",
+        ),
+        _rule(
+            "RTEC007",
+            "unbound or unevaluable operand",
+            "Left-to-right binding-order dataflow: a variable reaches an "
+            "arithmetic comparison, a holdsAt time-point, a negated holdsAt, "
+            "or an interval builtin without having been bound by an earlier "
+            "condition — this raises an EvaluationError at run time.",
+        ),
+        _rule(
+            "RTEC008",
+            "unsafe head variable",
+            "A head variable is never bound by any body condition: "
+            "initiations and head time-points must be ground after body "
+            "evaluation (universal terminatedAt heads are exempt).",
+        ),
+        _rule(
+            "RTEC009",
+            "wrong arity",
+            "A reserved predicate (happensAt, holdsFor, union_all, ...) or "
+            "an arithmetic functor is used with the wrong number of "
+            "arguments.",
+            paper_category=4,
+        ),
+        _rule(
+            "RTEC010",
+            "initiated but never terminated",
+            "A single-valued simple fluent has initiatedAt rules but no "
+            "terminatedAt rule and no maxDuration deadline: once initiated "
+            "it holds forever by inertia.",
+        ),
+        _rule(
+            "RTEC011",
+            "terminated but never initiated",
+            "A simple fluent has terminatedAt rules but no initiatedAt rule "
+            "and no initially declaration: its terminations can never fire.",
+        ),
+        _rule(
+            "RTEC012",
+            "dead rule",
+            "A defined fluent is consumed by no other rule and is not a "
+            "declared output of the recognition task.",
+        ),
+        _rule(
+            "RTEC013",
+            "duplicate rule",
+            "Two rules are identical up to consistent variable renaming.",
+        ),
+        _rule(
+            "RTEC014",
+            "contradictory rules",
+            "The same conditions (up to variable renaming) both initiate and "
+            "terminate the same fluent-value pair.",
+        ),
+        _rule(
+            "RTEC015",
+            "not entity-shardable",
+            "The partitionability analysis found a rule that blocks "
+            "entity-sharded parallel recognition (informational).",
+        ),
+        _rule(
+            "RTEC016",
+            "naming divergence",
+            "An unknown name normalises to (or is within a small edit "
+            "distance of) exactly one known vocabulary name; the attached "
+            "fix renames it.",
+            paper_category=1,
+            fixable=True,
+        ),
+    )
+}
+
+# Every category of the shared table must be documented here, and vice versa.
+assert set(LINT_RULES) == {code for code, _ in CATEGORY_CODES.values()}
+
+
+def rule_for(code: str) -> Optional[LintRule]:
+    """The registry record of a lint code, if documented."""
+    return LINT_RULES.get(code)

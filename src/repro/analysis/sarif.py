@@ -1,0 +1,74 @@
+"""SARIF 2.1.0 output for CI consumption.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+is the interchange format GitHub code scanning (and most CI lint viewers)
+ingest. One :class:`~repro.analysis.diagnostics.LintReport` maps to one
+run of the ``repro-lint`` tool; the rule metadata comes from the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.analysis.diagnostics import LintReport, Severity
+from repro.analysis.registry import LINT_RULES
+
+__all__ = ["to_sarif"]
+
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def to_sarif(report: LintReport, tool_version: str = "1.0.0") -> Dict[str, Any]:
+    """Render a lint report as a SARIF 2.1.0 log (a JSON-serialisable dict)."""
+    rules: List[Dict[str, Any]] = [
+        {
+            "id": rule.code,
+            "name": rule.category,
+            "shortDescription": {"text": rule.title},
+            "fullDescription": {"text": rule.explanation},
+            "defaultConfiguration": {"level": _SARIF_LEVELS[rule.severity]},
+        }
+        for rule in sorted(LINT_RULES.values(), key=lambda r: r.code)
+    ]
+    rule_indices = {rule["id"]: index for index, rule in enumerate(rules)}
+    artifact = report.source or "<input>"
+    results: List[Dict[str, Any]] = []
+    for diagnostic in report.diagnostics:
+        result: Dict[str, Any] = {
+            "ruleId": diagnostic.code,
+            "level": _SARIF_LEVELS.get(diagnostic.severity or Severity.ERROR, "error"),
+            "message": {"text": diagnostic.message},
+        }
+        if diagnostic.code in rule_indices:
+            result["ruleIndex"] = rule_indices[diagnostic.code]
+        location: Dict[str, Any] = {
+            "physicalLocation": {"artifactLocation": {"uri": artifact}}
+        }
+        line = report.line_for(diagnostic.rule_index)
+        if line is not None:
+            location["physicalLocation"]["region"] = {"startLine": line}
+        result["locations"] = [location]
+        if diagnostic.fix is not None:
+            result["properties"] = {"fix": diagnostic.fix.describe()}
+        results.append(result)
+    return {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://github.com/aartikis/RTEC",
+                        "version": tool_version,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

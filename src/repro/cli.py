@@ -7,7 +7,9 @@ Subcommands mirror the paper's workflow::
     python -m repro fig2c                  # Figure 2c table (F1 vs gold)
     python -m repro recognise              # run the gold ED over the fleet
     python -m repro generate --model o1    # print one generated event description
-    python -m repro validate FILE          # validate an RTEC event description
+    python -m repro lint FILE              # lint an RTEC event description
+    python -m repro lint --gold maritime   # lint a built-in gold description
+    python -m repro validate FILE          # deprecated alias of lint (errors only)
     python -m repro profile --window 600   # telemetry span tree of a recognition run
 """
 
@@ -118,7 +120,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="show at most this many (slowest) children per span",
     )
 
-    validate = sub.add_parser("validate", help="validate an RTEC event description file")
+    lint = sub.add_parser(
+        "lint",
+        help="lint an RTEC event description (multi-pass static analysis)",
+        description="Run the repro.analysis linter: structural validation, "
+        "binding-order dataflow, arity, consistency, dependency and "
+        "partitionability checks, with RTEC0xx diagnostic codes.",
+    )
+    lint.add_argument("path", nargs="?", help="file with RTEC rules")
+    lint.add_argument(
+        "--gold",
+        choices=("maritime", "fleet"),
+        help="lint a built-in gold event description instead of a file",
+    )
+    lint.add_argument(
+        "--no-vocabulary",
+        action="store_true",
+        help="skip maritime vocabulary checks (structural validation only)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "info", "never"),
+        default="error",
+        help="exit non-zero when a diagnostic at or above this severity is "
+        "reported (default: error)",
+    )
+
+    validate = sub.add_parser(
+        "validate",
+        help="(deprecated: use 'repro lint') validate an RTEC event description file",
+        description="Deprecated alias of 'repro lint': runs the same analyser "
+        "but reports only error-severity diagnostics, preserving the "
+        "historical output and exit codes.",
+    )
     validate.add_argument("path", help="file with RTEC rules")
     validate.add_argument(
         "--no-vocabulary",
@@ -282,7 +322,81 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _gold_lint_target(which: str):
+    """(description, vocabulary, outputs, source) of a built-in gold ED.
+
+    ``outputs`` covers every activity-group fluent (the paper reports all
+    activity levels, not just the composite ones), so the dead-rule check
+    applies only to fluents outside the task's activity list.
+    """
+    if which == "maritime":
+        from repro.maritime import ACTIVITY_GROUPS
+
+        description = gold_event_description()
+        vocabulary = MARITIME_VOCABULARY
+        groups = ACTIVITY_GROUPS
+    else:
+        from repro.fleet import (
+            FLEET_ACTIVITY_GROUPS,
+            FLEET_VOCABULARY,
+            fleet_gold_event_description,
+        )
+
+        description = fleet_gold_event_description()
+        vocabulary = FLEET_VOCABULARY
+        groups = FLEET_ACTIVITY_GROUPS
+    outputs = {name for group in groups for name, _arity in group.fluents}
+    return description, vocabulary, outputs, "<gold:%s>" % which
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import Severity, analyse, analyse_text, to_sarif
+
+    if (args.path is None) == (args.gold is None):
+        print("error: give exactly one of PATH or --gold", file=sys.stderr)
+        return 2
+    if args.gold is not None:
+        description, vocabulary, outputs, source = _gold_lint_target(args.gold)
+        if args.no_vocabulary:
+            vocabulary = None
+        report = analyse(
+            description,
+            vocabulary,
+            outputs=outputs,
+            text=description.to_text(),
+            source=source,
+        )
+    else:
+        try:
+            with open(args.path) as handle:
+                text = handle.read()
+        except OSError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+        vocabulary = None if args.no_vocabulary else MARITIME_VOCABULARY
+        report = analyse_text(text, vocabulary, source=args.path)
+    if args.format == "json":
+        print(report.to_json())
+    elif args.format == "sarif":
+        print(json.dumps(to_sarif(report), indent=2))
+    else:
+        print(report.format_text())
+    if args.fail_on == "never":
+        return 0
+    threshold = {
+        "error": Severity.ERROR,
+        "warning": Severity.WARNING,
+        "info": Severity.INFO,
+    }[args.fail_on]
+    return 1 if report.at_or_above(threshold) else 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
+    """Deprecated alias of ``repro lint`` (error-severity diagnostics only)."""
+    from repro.analysis import analyse
+
     try:
         with open(args.path) as handle:
             text = handle.read()
@@ -295,7 +409,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         print("parse error: %s" % exc, file=sys.stderr)
         return 2
     vocabulary = None if args.no_vocabulary else MARITIME_VOCABULARY
-    issues = description.validate(vocabulary)
+    issues = analyse(description, vocabulary, text=text, source=args.path).errors
     print(
         "%d rules, %d simple fluents, %d statically determined fluents"
         % (
@@ -321,6 +435,7 @@ _COMMANDS = {
     "errors": _cmd_errors,
     "diff": _cmd_diff,
     "profile": _cmd_profile,
+    "lint": _cmd_lint,
     "validate": _cmd_validate,
 }
 

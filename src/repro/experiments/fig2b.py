@@ -11,7 +11,7 @@ required changes were minor.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 from repro.experiments.fig2a import Fig2aResult, run_fig2a, scheme_mark
 from repro.generation.correction import CorrectionReport

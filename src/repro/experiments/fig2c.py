@@ -9,7 +9,7 @@ time-points are compared per activity: F1 against the gold detections.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.experiments.fig2a import scheme_mark
 from repro.experiments.fig2b import Fig2bResult, run_fig2b

@@ -8,7 +8,7 @@ bar groups, one bar per model).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import List, Mapping, Sequence
 
 __all__ = ["bar", "grouped_bar_chart"]
 

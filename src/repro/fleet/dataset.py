@@ -22,7 +22,7 @@ Scenarios:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.fleet.gold import FLEET_VOCABULARY, FleetThresholds
 from repro.logic.knowledge import KnowledgeBase

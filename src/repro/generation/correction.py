@@ -8,6 +8,15 @@ automates the mechanical part of that step and accepts an explicit
 reviewer-supplied rename map for the judgement calls (such as o1's
 ``trawlingArea`` -> ``fishing``, which no string metric can find).
 
+The name resolution itself lives in :mod:`repro.analysis`: the linter's
+naming pass (RTEC016) computes the same close-variant renames and attaches
+them to diagnostics as machine-applicable fixes; this module applies those
+fixes and reports what changed. After correction the result is linted again
+(:func:`repro.analysis.analyse`) and the report is attached as
+``CorrectionReport.post_lint``, so callers can gate on residual
+error-severity diagnostics — the semantic errors correction deliberately
+does not touch.
+
 What it fixes (error category 1 only):
 
 * event, fluent, and background-predicate names that normalise to a known
@@ -25,35 +34,18 @@ Figure 2c then measures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro import telemetry
+from repro.analysis.diagnostics import LintReport
+from repro.analysis.fixers import rewrite_rule
+from repro.analysis.names import levenshtein
+from repro.analysis.passes import compute_name_fixes
 from repro.llm.pipeline import GeneratedActivity, GeneratedEventDescription
 from repro.logic.knowledge import KnowledgeBase
-from repro.logic.parser import Literal, Rule
-from repro.logic.terms import Compound, Constant, Term, Variable
-from repro.rtec.builtins import EVALUABLE_FUNCTORS
-from repro.rtec.description import (
-    INTERVAL_CONSTRUCTS,
-    EventDescription,
-    Vocabulary,
-    fluent_key,
-)
+from repro.rtec.description import Vocabulary
 
 __all__ = ["CorrectionReport", "correct_event_description", "levenshtein"]
-
-from repro.logic.parser import COMPARISON_OPERATORS
-
-_STRUCTURAL = (
-    {"happensAt", "holdsAt", "holdsFor", "initiatedAt", "terminatedAt", "not", "list", "="}
-    | set(INTERVAL_CONSTRUCTS)
-    | set(EVALUABLE_FUNCTORS)
-    | set(COMPARISON_OPERATORS)
-)
-
-#: Fluent values that are part of the RTEC/maritime conventions rather than
-#: the knowledge base.
-_KNOWN_VALUES = {"true", "false", "nearPorts", "farFromPorts", "below", "normal", "above", "[]"}
 
 
 @dataclass
@@ -63,90 +55,14 @@ class CorrectionReport:
     functor_renames: Dict[str, str] = field(default_factory=dict)
     constant_renames: Dict[str, str] = field(default_factory=dict)
     unresolved: List[str] = field(default_factory=list)
+    #: Lint report of the *corrected* description (the analyser re-run after
+    #: the renames). ``post_lint.has_errors`` flags descriptions that still
+    #: cannot execute — the gate for downstream use.
+    post_lint: Optional[LintReport] = None
 
     @property
     def total_changes(self) -> int:
         return len(self.functor_renames) + len(self.constant_renames)
-
-
-def levenshtein(left: str, right: str) -> int:
-    """Edit distance (insert/delete/substitute), iterative two-row version."""
-    if left == right:
-        return 0
-    if not left:
-        return len(right)
-    if not right:
-        return len(left)
-    previous = list(range(len(right) + 1))
-    for i, l_ch in enumerate(left, start=1):
-        current = [i]
-        for j, r_ch in enumerate(right, start=1):
-            cost = 0 if l_ch == r_ch else 1
-            current.append(min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost))
-        previous = current
-    return previous[-1]
-
-
-def _normalise(name: str) -> str:
-    return name.replace("_", "").lower()
-
-
-def _closest(name: str, candidates: Sequence[str], max_relative: float = 0.5) -> Optional[str]:
-    """The unique best candidate: exact normalised match, else smallest edit
-    distance within ``max_relative`` of the name length (ties unresolved)."""
-    normalised = _normalise(name)
-    exact = [c for c in candidates if _normalise(c) == normalised]
-    if len(exact) == 1:
-        return exact[0]
-    if len(exact) > 1:
-        return None
-    scored = sorted(
-        ((levenshtein(normalised, _normalise(c)), c) for c in candidates),
-        key=lambda pair: (pair[0], pair[1]),
-    )
-    if not scored:
-        return None
-    best_distance, best = scored[0]
-    limit = max(1, int(max_relative * max(len(normalised), 1)))
-    if best_distance > limit:
-        return None
-    if len(scored) > 1 and scored[1][0] == best_distance:
-        return None  # ambiguous
-    return best
-
-
-def _rewrite(term: Term, functor_map: Mapping[str, str], constant_map: Mapping[str, str]) -> Term:
-    if isinstance(term, Compound):
-        functor = functor_map.get(term.functor, term.functor)
-        return Compound(
-            functor,
-            tuple(_rewrite(arg, functor_map, constant_map) for arg in term.args),
-        )
-    if isinstance(term, Constant) and isinstance(term.value, str):
-        renamed = constant_map.get(term.value)
-        if renamed is not None:
-            return Constant(renamed)
-    return term
-
-
-def _referenced_names(rules: Sequence[Rule]) -> Tuple[Set[str], Set[str]]:
-    """(functor names referenced in bodies/heads, string constants used)."""
-    functors: Set[str] = set()
-    constants: Set[str] = set()
-
-    def walk(term: Term) -> None:
-        if isinstance(term, Compound):
-            functors.add(term.functor)
-            for arg in term.args:
-                walk(arg)
-        elif isinstance(term, Constant) and isinstance(term.value, str):
-            constants.add(term.value)
-
-    for rule in rules:
-        walk(rule.head)
-        for literal in rule.body:
-            walk(literal.term)
-    return functors, constants
 
 
 def correct_event_description(
@@ -179,66 +95,42 @@ def _correct(
     manual_constant_renames: Optional[Mapping[str, str]],
     span,
 ) -> Tuple[GeneratedEventDescription, CorrectionReport]:
-    report = CorrectionReport()
-    rules = generated.all_rules()
-    referenced_functors, referenced_constants = _referenced_names(rules)
+    from repro.analysis.analyzer import analyse
 
-    defined_fluents = {key[0] for key in EventDescription(rules).defined_keys}
-    known_functors = (
-        {name for name, _arity in vocabulary.input_events}
-        | {name for name, _arity in vocabulary.input_fluents}
-        | {name for name, _arity in vocabulary.background}
-        | defined_fluents
-        | _STRUCTURAL
-    )
-    known_constants = set(_KNOWN_VALUES)
-    for fact in kb.facts():
-        _functors, fact_constants = _referenced_names([Rule(fact)])
-        known_constants |= fact_constants
-        if isinstance(fact, Compound):
-            known_constants.discard(fact.functor)
+    report = CorrectionReport()
 
     functor_map: Dict[str, str] = dict(manual_functor_renames or {})
     constant_map: Dict[str, str] = dict(manual_constant_renames or {})
     report.functor_renames.update(functor_map)
     report.constant_renames.update(constant_map)
 
-    vocabulary_names = sorted(known_functors - _STRUCTURAL)
-    for name in sorted(referenced_functors - known_functors - set(functor_map)):
-        span.count("attempts")
-        match = _closest(name, vocabulary_names)
-        if match is not None:
-            functor_map[name] = match
-            report.functor_renames[name] = match
-        else:
-            report.unresolved.append("functor %r" % name)
-
-    for name in sorted(referenced_constants - known_constants - set(constant_map)):
-        span.count("attempts")
-        match = _closest(name, sorted(known_constants - _KNOWN_VALUES))
-        if match is not None:
-            constant_map[name] = match
-            report.constant_renames[name] = match
-        else:
-            report.unresolved.append("constant %r" % name)
+    fixes = compute_name_fixes(
+        generated.to_event_description(),
+        vocabulary,
+        kb,
+        skip_functors=functor_map,
+        skip_constants=constant_map,
+    )
+    span.count(
+        "attempts",
+        len(fixes.functor_renames) + len(fixes.constant_renames) + len(fixes.unresolved),
+    )
+    functor_map.update(fixes.functor_renames)
+    constant_map.update(fixes.constant_renames)
+    report.functor_renames.update(fixes.functor_renames)
+    report.constant_renames.update(fixes.constant_renames)
+    report.unresolved.extend("%s %r" % (kind, name) for kind, name in fixes.unresolved)
 
     corrected_activities: List[GeneratedActivity] = []
     for activity in generated.activities:
-        corrected_rules = [
-            Rule(
-                _rewrite(rule.head, functor_map, constant_map),
-                tuple(
-                    Literal(_rewrite(lit.term, functor_map, constant_map), lit.negated)
-                    for lit in rule.body
-                ),
-            )
-            for rule in activity.rules
-        ]
         corrected_activities.append(
             GeneratedActivity(
                 group=activity.group,
                 raw_text=activity.raw_text,
-                rules=corrected_rules,
+                rules=[
+                    rewrite_rule(rule, functor_map, constant_map)
+                    for rule in activity.rules
+                ],
                 parse_error=activity.parse_error,
             )
         )
@@ -247,8 +139,12 @@ def _correct(
         scheme=generated.scheme,
         activities=corrected_activities,
     )
+    report.post_lint = analyse(
+        corrected.to_event_description(), vocabulary, kb=kb
+    )
     if span.enabled:
         span.count("functor_renames", len(report.functor_renames))
         span.count("constant_renames", len(report.constant_renames))
         span.count("unresolved", len(report.unresolved))
+        span.count("post_lint_errors", len(report.post_lint.errors))
     return corrected, report

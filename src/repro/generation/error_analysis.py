@@ -28,19 +28,13 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.llm.pipeline import GeneratedEventDescription
 from repro.logic.parser import Rule, parse_program
 from repro.logic.terms import Compound, Constant, Term
 from repro.maritime.gold import ACTIVITY_GROUPS, ActivityGroup
-from repro.rtec.description import (
-    INTERVAL_CONSTRUCTS,
-    EventDescription,
-    Vocabulary,
-    fluent_key,
-    head_fvp,
-)
+from repro.rtec.description import INTERVAL_CONSTRUCTS, Vocabulary, fluent_key, head_fvp
 
 __all__ = ["ErrorFinding", "ErrorReport", "analyse_errors", "format_report"]
 

@@ -13,7 +13,7 @@ activity, aggregating over all ground instances (e.g. every vessel's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Sequence
 
 from repro.intervals import IntervalList, intersect_all, relative_complement_all
 from repro.logic.terms import Term

@@ -8,7 +8,7 @@ generate with a simulated model, pick the best prompting scheme per model
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.generation.correction import CorrectionReport, correct_event_description
 from repro.generation.metrics import average_similarity, per_activity_similarities

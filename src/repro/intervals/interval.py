@@ -20,7 +20,7 @@ coalesced on normalisation), so each stored interval is maximal.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Sequence, Tuple, Union
+from typing import Iterable, Iterator, List, Tuple, Union
 
 __all__ = ["Interval", "IntervalList"]
 

@@ -8,7 +8,7 @@ lists of maximal-interval lists and always return a normalised
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.intervals.interval import Interval, IntervalList
 

@@ -21,8 +21,8 @@ reproducing a definition imperfectly.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from repro.logic.parser import Literal, Rule, parse_program, parse_term
 from repro.logic.terms import Compound, Constant, Term, Variable

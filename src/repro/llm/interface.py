@@ -10,7 +10,7 @@ implement :meth:`LLMClient.complete`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Protocol, Sequence, runtime_checkable
+from typing import Protocol, Sequence, runtime_checkable
 
 __all__ = ["ChatMessage", "LLMClient"]
 

@@ -34,7 +34,7 @@ documented scheme.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List
 
 from repro.llm.errors import (
     AddCondition,

@@ -9,7 +9,7 @@ definition from its natural-language description (prompt G).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping
+from typing import Mapping
 
 from repro.maritime.gold import (
     INPUT_EVENT_MEANINGS,

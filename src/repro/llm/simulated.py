@@ -25,11 +25,11 @@ fleet management (the paper's further-work domain).
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
-from repro.llm.errors import CorruptSyntax, Transformation, apply_all
+from repro.llm.errors import CorruptSyntax, apply_all
 from repro.llm.interface import ChatMessage
-from repro.llm.profiles import BEST_SCHEME, MODEL_NAMES, Profile, profile_for
+from repro.llm.profiles import MODEL_NAMES, Profile, profile_for
 from repro.llm.prompts import CHAIN_OF_THOUGHT, FEW_SHOT, ZERO_SHOT
 from repro.logic.parser import parse_program
 from repro.logic.pretty import program_to_str

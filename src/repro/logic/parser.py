@@ -33,7 +33,7 @@ event descriptions must be *validated*, not silently repaired.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.logic.terms import Compound, Constant, Term, Variable
 
@@ -46,6 +46,7 @@ __all__ = [
     "parse_term",
     "parse_rule",
     "parse_program",
+    "clause_lines",
     "LIST_FUNCTOR",
     "COMPARISON_OPERATORS",
 ]
@@ -343,3 +344,31 @@ def parse_rule(text: str) -> Rule:
 def parse_program(text: str) -> List[Rule]:
     """Parse a whole event description (a sequence of rules and facts)."""
     return _Parser(tokenize(text)).parse_program()
+
+
+def clause_lines(text: str) -> List[int]:
+    """The 1-based source line of each clause of a program, in order.
+
+    Clause ``i`` of the token stream corresponds to rule ``i`` of
+    :func:`parse_program` (the parser neither drops nor reorders clauses),
+    so diagnostics carrying a rule index can be mapped back to source
+    lines. In this dialect the ``.`` token only ever terminates a clause
+    (floats are single number tokens, lists use brackets), so no nesting
+    tracking is needed. Tolerant of malformed text: any tokenisation error
+    yields an empty mapping.
+    """
+    lines: List[int] = []
+    expecting_clause = True
+    try:
+        tokens = tokenize(text)
+    except ParseError:
+        return []
+    for token in tokens:
+        if token.kind == "end":
+            break
+        if expecting_clause:
+            lines.append(token.line)
+            expecting_clause = False
+        if token.kind == "punct" and token.text == ".":
+            expecting_clause = True
+    return lines

@@ -9,7 +9,7 @@ emit them.
 from __future__ import annotations
 
 from repro.logic.parser import COMPARISON_OPERATORS, LIST_FUNCTOR, Literal, Rule
-from repro.logic.terms import Compound, Constant, Term, Variable
+from repro.logic.terms import Constant, Term, Variable
 
 __all__ = ["term_to_str", "literal_to_str", "rule_to_str", "program_to_str"]
 

@@ -8,7 +8,7 @@ substitution or returns ``None`` on failure.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, Optional
 
 from repro.logic.terms import Compound, Constant, Term, Variable
 

@@ -34,11 +34,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.logic.knowledge import KnowledgeBase
-from repro.maritime.ais import AISMessage, Vessel, VESSEL_SPEED_RANGES
-from repro.maritime.critical_events import CriticalEventDetector, DetectedStream
+from repro.maritime.ais import AISMessage, Vessel
+from repro.maritime.critical_events import CriticalEventDetector
 from repro.maritime.geometry import Geography, default_geography
 from repro.maritime.gold import MARITIME_VOCABULARY
 from repro.maritime.thresholds import (

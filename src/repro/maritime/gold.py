@@ -16,7 +16,7 @@ the LLM in prompt G (Section 3.3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from repro.rtec.description import EventDescription, FluentKey, Vocabulary
 

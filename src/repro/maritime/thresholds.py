@@ -8,8 +8,8 @@ facts for the knowledge base.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
-from typing import Dict, Iterator, Tuple
+from dataclasses import dataclass, fields
+from typing import Iterator, Tuple
 
 __all__ = ["Thresholds", "DEFAULT_THRESHOLDS", "DETECTOR_SETTINGS", "DetectorSettings"]
 

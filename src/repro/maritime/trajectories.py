@@ -16,8 +16,8 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence
 
 from repro.maritime.ais import AISMessage, Vessel
 

@@ -150,6 +150,17 @@ def compile_rule(rule: Rule) -> CompiledRule:
     seed_event, seed_time = first.term.args
     seed_key = pattern_key(seed_event)
 
+    # Binding-order dataflow: a rule whose body is guaranteed to feed an
+    # unbound variable into a builtin (or whose head can never become
+    # ground) would raise an EvaluationError on its first firing; reject it
+    # at compile time with the analyser's diagnostic instead of crashing
+    # mid-window. Imported lazily — repro.analysis depends on this package.
+    from repro.analysis.binding import check_simple_rule
+
+    problems = check_simple_rule(rule)
+    if problems:
+        raise EvaluationError(problems[0].message, rule_head=rule.head)
+
     seed_args: Optional[Tuple[Variable, ...]] = None
     seed_time_var: Optional[Variable] = None
     if isinstance(seed_time, Variable):

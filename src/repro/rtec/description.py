@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.logic.parser import LIST_FUNCTOR, Literal, ParseError, Rule, parse_program
+from repro.logic.parser import LIST_FUNCTOR, Rule, parse_program
 from repro.logic.pretty import program_to_str
 from repro.logic.terms import Compound, Constant, Term, Variable, is_fvp
 from repro.rtec.builtins import is_comparison

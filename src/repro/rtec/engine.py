@@ -20,7 +20,6 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro import telemetry
-from repro.intervals import IntervalList
 from repro.logic.knowledge import KnowledgeBase
 from repro.logic.terms import Compound, Term
 from repro.rtec.description import EventDescription, Vocabulary, fluent_key
@@ -64,9 +63,16 @@ class RTECEngine:
         #: Messages of rules skipped at run time (only in skip_errors mode).
         self.runtime_warnings: List[str] = []
         if strict:
-            issues = description.validate(vocabulary)
-            if issues:
-                raise InvalidEventDescriptionError(issues)
+            # Full static analysis on load (structural validation plus
+            # binding-order dataflow, arity and consistency checks): faults
+            # that used to surface as EvaluationErrors mid-window are
+            # rejected here with a precise diagnostic. Imported lazily —
+            # repro.analysis depends on repro.rtec.description.
+            from repro.analysis.analyzer import analyse
+
+            report = analyse(description, vocabulary)
+            if report.has_errors:
+                raise InvalidEventDescriptionError(report.errors)
         self._order = description.topological_order()
 
     @staticmethod

@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
+
+# A leaf module with no repro imports of its own: safe to import while the
+# rtec package is still initialising.
+from repro.analysis.diagnostics import Diagnostic
 
 __all__ = [
     "RTECError",
@@ -13,13 +16,53 @@ __all__ = [
     "InvalidEventDescriptionError",
 ]
 
+#: Backward-compatible alias: a validation issue *is* a diagnostic of the
+#: static analyser (:mod:`repro.analysis`). The constructor signature is
+#: unchanged — ``ValidationIssue(category, message, rule_index)`` — with
+#: the lint code and severity derived from the category.
+ValidationIssue = Diagnostic
+
 
 class RTECError(Exception):
     """Base class for all RTEC engine errors."""
 
 
 class EvaluationError(RTECError):
-    """Raised when a rule body cannot be evaluated (e.g. unbound arithmetic)."""
+    """Raised when a rule body cannot be evaluated (e.g. unbound arithmetic).
+
+    ``reason`` is the bare failure description; ``rule_head`` and
+    ``condition`` locate the failure when known. The evaluators attach
+    them via :meth:`with_context` as the error propagates outwards, so a
+    residual runtime failure names the offending rule and condition.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        rule_head: Optional[object] = None,
+        condition: Optional[object] = None,
+    ) -> None:
+        self.reason = reason
+        self.rule_head = rule_head
+        self.condition = condition
+        message = reason
+        if condition is not None:
+            message += " [condition %r]" % (condition,)
+        if rule_head is not None:
+            message += " [rule %r]" % (rule_head,)
+        super().__init__(message)
+
+    def with_context(
+        self,
+        rule_head: Optional[object] = None,
+        condition: Optional[object] = None,
+    ) -> "EvaluationError":
+        """A copy with the missing context filled in (never overwrites)."""
+        new_head = self.rule_head if self.rule_head is not None else rule_head
+        new_condition = self.condition if self.condition is not None else condition
+        if new_head is self.rule_head and new_condition is self.condition:
+            return self
+        return EvaluationError(self.reason, new_head, new_condition)
 
 
 class CyclicDependencyError(RTECError):
@@ -28,35 +71,6 @@ class CyclicDependencyError(RTECError):
     def __init__(self, cycle: List[str]) -> None:
         super().__init__("cyclic fluent dependency: %s" % " -> ".join(cycle))
         self.cycle = cycle
-
-
-@dataclass(frozen=True)
-class ValidationIssue:
-    """One structural problem found in an event description.
-
-    ``category`` is one of:
-
-    * ``"syntax"`` — the text failed to parse;
-    * ``"undefined-event"`` — a ``happensAt`` condition refers to an event
-      that is not in the input vocabulary;
-    * ``"undefined-fluent"`` — a ``holdsAt``/``holdsFor`` condition refers to
-      a fluent that is neither an input fluent nor defined by the event
-      description (the paper's third error category);
-    * ``"undefined-background"`` — an atemporal condition with no matching
-      background predicate;
-    * ``"malformed-rule"`` — a rule violating Definition 2.2 or 2.4 (e.g. an
-      ``initiatedAt`` rule whose first condition is not a positive
-      ``happensAt``, or an interval construct over unbound interval lists);
-    * ``"cycle"`` — the fluent dependency graph contains a cycle.
-    """
-
-    category: str
-    message: str
-    rule_index: Optional[int] = None
-
-    def __str__(self) -> str:
-        prefix = "rule %d: " % self.rule_index if self.rule_index is not None else ""
-        return "[%s] %s%s" % (self.category, prefix, self.message)
 
 
 class InvalidEventDescriptionError(RTECError):

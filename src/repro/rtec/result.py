@@ -12,7 +12,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.intervals import IntervalList, union_all
 from repro.logic.parser import parse_term
 from repro.logic.terms import Compound, Term, is_fvp
-from repro.rtec.description import FluentKey, fluent_key
+from repro.rtec.description import fluent_key
 
 __all__ = ["RecognitionResult"]
 

@@ -38,12 +38,10 @@ from repro.logic.terms import (
 from repro.logic.unification import Substitution, unify
 from repro.rtec.builtins import evaluate_comparison
 from repro.rtec.compile import (
-    BACKGROUND,
     COMPARE,
     HAPPENS,
     HOLDS,
     CompiledLiteral,
-    CompiledRule,
     compile_rule,
     pattern_key as _pattern_key,
 )
@@ -92,7 +90,7 @@ def evaluate_simple_fluent(
                     initiations[pair].add(time)
             except EvaluationError as exc:
                 if on_error is None:
-                    raise
+                    raise exc.with_context(rule_head=rule.head) from exc
                 on_error("skipped rule %r: %s" % (rule.head, exc))
 
         for pair, start_time in carried_initiations.items():
@@ -110,7 +108,7 @@ def evaluate_simple_fluent(
                     pending.append((pair, time))
             except EvaluationError as exc:
                 if on_error is None:
-                    raise
+                    raise exc.with_context(rule_head=rule.head) from exc
                 on_error("skipped rule %r: %s" % (rule.head, exc))
         non_ground: List[Tuple[Term, int]] = []
         for pattern, time in pending:
@@ -326,10 +324,14 @@ def _satisfy_one(
         yield from _satisfy_holds_at(compiled, subst, store)
     elif tag == COMPARE:
         literal = compiled.literal
+        try:
+            satisfied = evaluate_comparison(literal.term, subst)
+        except EvaluationError as exc:
+            raise exc.with_context(condition=literal.term) from exc
         if literal.negated:
-            if not evaluate_comparison(literal.term, subst):
+            if not satisfied:
                 yield subst
-        elif evaluate_comparison(literal.term, subst):
+        elif satisfied:
             yield subst
     else:
         # Atemporal background predicate.

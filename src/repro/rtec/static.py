@@ -62,7 +62,7 @@ def evaluate_static_fluent(
                     result.setdefault(pair, []).append(intervals)
             except EvaluationError as exc:
                 if on_error is None:
-                    raise
+                    raise exc.with_context(rule_head=rule.head) from exc
                 on_error("skipped rule %r: %s" % (rule.head, exc))
         merged = {
             pair: union_all(interval_lists)
@@ -165,8 +165,19 @@ def _satisfy_body(
         yield subst, env
         return
     literal, rest = literals[0], literals[1:]
-    for new_subst, new_env in _satisfy_one(literal, subst, env, kb, store):
+    for new_subst, new_env in _with_condition(
+        _satisfy_one(literal, subst, env, kb, store), literal.term
+    ):
         yield from _satisfy_body(rest, new_subst, new_env, kb, store)
+
+
+def _with_condition(iterator, term):
+    """Attach the offending condition to any EvaluationError raised while
+    satisfying it (kept lazy: the iterator is consumed on demand)."""
+    try:
+        yield from iterator
+    except EvaluationError as exc:
+        raise exc.with_context(condition=term) from exc
 
 
 def _satisfy_one(

@@ -10,7 +10,7 @@ holds. Rule evaluation queries the store either by exact ground FVP
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from repro.intervals import IntervalList
 from repro.logic.terms import Compound, Term, is_fvp, is_ground

@@ -7,7 +7,7 @@ al., 2019), reproducing the paper's worked Examples 4.2, 4.4 and 4.6.
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Sequence
 
 from repro.logic.terms import Compound, Constant, Term, Variable
 from repro.similarity.assignment import kuhn_munkres

@@ -1,0 +1,142 @@
+"""Unit tests for the binding-order dataflow analysis."""
+
+from repro.analysis.binding import (
+    arithmetic_arity,
+    check_rule,
+    check_simple_rule,
+    check_static_rule,
+)
+from repro.logic.parser import parse_rule
+
+
+class TestArithmeticArity:
+    def test_known_functors(self):
+        assert arithmetic_arity("abs") == 1
+        assert arithmetic_arity("plus") == 2
+        assert arithmetic_arity("angleDiff") == 2
+
+    def test_unknown_functor(self):
+        assert arithmetic_arity("nosuch") is None
+
+
+class TestSimpleRules:
+    def test_clean_rule_has_no_issues(self):
+        rule = parse_rule(
+            "initiatedAt(overSpeeding(V)=true, T) :- "
+            "happensAt(speed(V, S), T), speedLimit(urban, L), S > L."
+        )
+        assert check_simple_rule(rule) == []
+
+    def test_unbound_variable_in_comparison(self):
+        rule = parse_rule(
+            "initiatedAt(f(V)=true, T) :- happensAt(gap_start(V), T), Speed > 5."
+        )
+        issues = check_simple_rule(rule)
+        assert len(issues) == 1
+        assert issues[0].category == "unbound-variable"
+        assert "Speed" in issues[0].message
+        assert issues[0].condition_index == 1
+
+    def test_variable_bound_by_later_condition_still_flagged(self):
+        # Left-to-right evaluation: the comparison fires before the
+        # background condition that would bind its variable.
+        rule = parse_rule(
+            "initiatedAt(f(V)=true, T) :- "
+            "happensAt(gap_start(V), T), S > 5, thresholds(movingMin, S)."
+        )
+        issues = check_simple_rule(rule)
+        assert [i.category for i in issues] == ["unbound-variable"]
+
+    def test_negated_background_binds_nothing(self):
+        rule = parse_rule(
+            "initiatedAt(f(V)=true, T) :- "
+            "happensAt(gap_start(V), T), not thresholds(movingMin, S), S > 5."
+        )
+        issues = check_simple_rule(rule)
+        assert [i.category for i in issues] == ["unbound-variable"]
+
+    def test_unbound_holds_at_time_point(self):
+        rule = parse_rule(
+            "initiatedAt(f(V)=true, T) :- "
+            "happensAt(gap_start(V), T), holdsAt(g(V)=true, T2)."
+        )
+        issues = check_simple_rule(rule)
+        assert [i.category for i in issues] == ["unbound-variable"]
+        assert "T2" in issues[0].message
+
+    def test_negated_holds_at_requires_ground_pair(self):
+        rule = parse_rule(
+            "initiatedAt(f(V)=true, T) :- "
+            "happensAt(gap_start(V), T), not holdsAt(g(W)=true, T)."
+        )
+        issues = check_simple_rule(rule)
+        assert [i.category for i in issues] == ["unbound-variable"]
+        assert "W" in issues[0].message
+
+    def test_unsafe_initiation_head(self):
+        rule = parse_rule(
+            "initiatedAt(f(V, W)=true, T) :- happensAt(gap_start(V), T)."
+        )
+        issues = check_simple_rule(rule)
+        assert [i.category for i in issues] == ["unsafe-head"]
+        assert "W" in issues[0].message
+
+    def test_universal_termination_head_is_legal(self):
+        # Unbound terminatedAt head variables terminate every value.
+        rule = parse_rule(
+            "terminatedAt(f(V)=Value, T) :- happensAt(gap_start(V), T)."
+        )
+        assert check_simple_rule(rule) == []
+
+    def test_wrong_arithmetic_arity(self):
+        rule = parse_rule(
+            "initiatedAt(f(V)=true, T) :- "
+            "happensAt(speed(V, S), T), angleDiff(S) > 5."
+        )
+        issues = check_simple_rule(rule)
+        assert [i.category for i in issues] == ["wrong-arity"]
+
+    def test_malformed_rule_yields_no_issues(self):
+        # Structural validation owns malformed shapes.
+        rule = parse_rule("initiatedAt(f(V)=true, T) :- thresholds(a, B).")
+        assert check_simple_rule(rule) == []
+
+
+class TestStaticRules:
+    def test_clean_static_rule(self):
+        rule = parse_rule(
+            "holdsFor(f(V)=true, I) :- "
+            "holdsFor(g(V)=true, I1), holdsFor(h(V)=true, I2), union_all([I1, I2], I)."
+        )
+        assert check_static_rule(rule) == []
+
+    def test_interval_variable_rebound(self):
+        rule = parse_rule(
+            "holdsFor(f(V)=true, I) :- "
+            "holdsFor(g(V)=true, I1), holdsFor(h(V)=true, I1), union_all([I1, I1], I)."
+        )
+        issues = check_static_rule(rule)
+        assert [i.category for i in issues] == ["unbound-variable"]
+        assert "more than once" in issues[0].message
+
+    def test_head_variable_in_no_condition(self):
+        rule = parse_rule(
+            "holdsFor(f(V, W)=true, I) :- holdsFor(g(V)=true, I1), union_all([I1], I)."
+        )
+        issues = check_static_rule(rule)
+        assert [i.category for i in issues] == ["unsafe-head"]
+        assert "W" in issues[0].message
+
+
+class TestDispatch:
+    def test_check_rule_dispatches_by_head(self):
+        simple = parse_rule(
+            "initiatedAt(f(V)=true, T) :- happensAt(gap_start(V), T), X > 1."
+        )
+        static = parse_rule(
+            "holdsFor(f(V, W)=true, I) :- holdsFor(g(V)=true, I1), union_all([I1], I)."
+        )
+        other = parse_rule("maxDuration(f(V)=true, 60).")
+        assert check_rule(simple)[0].category == "unbound-variable"
+        assert check_rule(static)[0].category == "unsafe-head"
+        assert check_rule(other) == []

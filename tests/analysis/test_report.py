@@ -1,0 +1,124 @@
+"""Diagnostic/LintReport/registry/SARIF behaviour."""
+
+import json
+
+from repro.analysis import (
+    CATEGORY_CODES,
+    Diagnostic,
+    Fix,
+    LINT_RULES,
+    LintReport,
+    Severity,
+    analyse_text,
+    rule_for,
+    to_sarif,
+)
+
+
+class TestRegistry:
+    def test_every_category_has_a_rule(self):
+        for category, (code, severity) in CATEGORY_CODES.items():
+            rule = rule_for(code)
+            assert rule.category == category
+            assert rule.severity == severity
+
+    def test_codes_are_unique_and_formatted(self):
+        codes = [code for code, _severity in CATEGORY_CODES.values()]
+        assert len(codes) == len(set(codes))
+        for code in codes:
+            assert code.startswith("RTEC") and len(code) == 7
+
+    def test_paper_categories_cover_all_four(self):
+        assert {rule.paper_category for rule in LINT_RULES.values()} >= {1, 2, 3, 4}
+
+    def test_naming_rule_is_fixable(self):
+        assert rule_for("RTEC016").fixable
+
+
+class TestDiagnostic:
+    def test_legacy_positional_construction(self):
+        # ValidationIssue(category, message, rule_index) compatibility.
+        diag = Diagnostic("undefined-event", "no such event", 3)
+        assert diag.code == "RTEC003"
+        assert diag.severity is Severity.ERROR
+        assert diag.rule_index == 3
+
+    def test_str_contains_code_category_and_location(self):
+        diag = Diagnostic("unbound-variable", "oops", rule_index=1, condition_index=2)
+        text = str(diag)
+        assert "RTEC007" in text
+        assert "unbound-variable" in text
+        assert "rule 1" in text and "condition 2" in text
+
+    def test_unknown_category_falls_back_to_error(self):
+        diag = Diagnostic("some-novel-category", "boom")
+        assert diag.code == "RTEC000"
+        assert diag.severity is Severity.ERROR
+
+    def test_to_dict_roundtrips_fix(self):
+        diag = Diagnostic(
+            "naming", "rename me", fix=Fix("rename-functor", "gapEnd", "gap_end")
+        )
+        data = diag.to_dict()
+        assert data["fix"]["old"] == "gapEnd"
+        assert data["severity"] == "warning"
+
+
+class TestLintReport:
+    def _report(self):
+        return LintReport(
+            [
+                Diagnostic("undefined-event", "a", rule_index=0),
+                Diagnostic("never-terminated", "b", rule_index=1),
+                Diagnostic("non-shardable", "c"),
+            ],
+            source="x.prolog",
+            rule_lines=[10, 20],
+        )
+
+    def test_severity_buckets(self):
+        report = self._report()
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 1
+        assert len(report.infos) == 1
+        assert report.has_errors
+        assert len(report.at_or_above(Severity.WARNING)) == 2
+
+    def test_line_mapping_in_text_output(self):
+        text = self._report().format_text()
+        assert "x.prolog:10" in text
+        assert "x.prolog:20" in text
+
+    def test_to_json(self):
+        data = json.loads(self._report().to_json())
+        assert data["summary"] == {"errors": 1, "warnings": 1, "infos": 1}
+        assert len(data["diagnostics"]) == 3
+
+
+class TestSarif:
+    def test_sarif_structure(self):
+        text = (
+            "initiatedAt(f(V)=true, T) :-\n"
+            "    happensAt(gap_start(V), T),\n"
+            "    Speed > 5.\n"
+            "terminatedAt(f(V)=true, T) :-\n"
+            "    happensAt(gap_end(V), T).\n"
+        )
+        report = analyse_text(text, None, source="bad.prolog")
+        sarif = to_sarif(report)
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        results = run["results"]
+        assert any(r["ruleId"] == "RTEC007" for r in results)
+        unbound = next(r for r in results if r["ruleId"] == "RTEC007")
+        location = unbound["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "bad.prolog"
+        assert location["region"]["startLine"] == 1
+        assert unbound["level"] == "error"
+
+    def test_parse_error_becomes_syntax_result(self):
+        report = analyse_text("not prolog @@@", None, source="junk.prolog")
+        sarif = to_sarif(report)
+        assert [r["ruleId"] for r in sarif["runs"][0]["results"]] == ["RTEC001"]

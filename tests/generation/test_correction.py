@@ -5,7 +5,6 @@ import pytest
 from repro.generation.correction import correct_event_description, levenshtein
 from repro.generation.generator import generate
 from repro.llm import FEW_SHOT, CHAIN_OF_THOUGHT
-from repro.logic.knowledge import KnowledgeBase
 from repro.maritime.dataset import build_knowledge_base
 from repro.maritime.ais import Vessel
 from repro.maritime.geometry import default_geography
@@ -107,3 +106,40 @@ class TestManualRenames:
         once, _ = correct_event_description(outcome.generated, MARITIME_VOCABULARY, kb)
         twice, report = correct_event_description(once, MARITIME_VOCABULARY, kb)
         assert once.to_text() == twice.to_text()
+
+
+class TestPostLint:
+    def test_post_lint_attached_to_report(self, kb):
+        outcome = generate("llama-3", FEW_SHOT)
+        _corrected, report = correct_event_description(
+            outcome.generated, MARITIME_VOCABULARY, kb
+        )
+        assert report.post_lint is not None
+        # The rename fixes are applied, so no RTEC016 naming warnings remain
+        # for the names the correction resolved.
+        fixed = set(report.functor_renames) | set(report.constant_renames)
+        for diag in report.post_lint.diagnostics:
+            if diag.fix is not None:
+                assert diag.fix.old not in fixed
+
+    def test_flawless_profile_post_lint_is_error_clean(self, kb):
+        from repro.llm import BEST_SCHEME
+
+        outcome = generate("o1", BEST_SCHEME["o1"])
+        _corrected, report = correct_event_description(
+            outcome.generated, MARITIME_VOCABULARY, kb
+        )
+        assert report.post_lint is not None
+        assert report.post_lint.errors == []
+
+    def test_semantic_errors_survive_to_the_post_lint_gate(self, kb):
+        # gpt-4 leaves undefined activities behind; correction does not
+        # invent definitions, so the post-correction lint still gates.
+        from repro.llm import BEST_SCHEME
+
+        outcome = generate("gpt-4", BEST_SCHEME["gpt-4"])
+        _corrected, report = correct_event_description(
+            outcome.generated, MARITIME_VOCABULARY, kb
+        )
+        assert report.post_lint is not None
+        assert report.post_lint.has_errors

@@ -1,6 +1,5 @@
 """Tests for the automated qualitative error assessment (Section 5.2)."""
 
-import pytest
 
 from repro.generation import generate
 from repro.generation.error_analysis import (
@@ -9,7 +8,7 @@ from repro.generation.error_analysis import (
     analyse_errors,
     format_report,
 )
-from repro.llm import BEST_SCHEME, CHAIN_OF_THOUGHT, FEW_SHOT
+from repro.llm import BEST_SCHEME
 from repro.llm.prompts import ZERO_SHOT
 from repro.maritime.gold import MARITIME_VOCABULARY
 

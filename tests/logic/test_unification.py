@@ -1,6 +1,5 @@
 """Unit tests for unification and substitutions."""
 
-import pytest
 
 from repro.logic.parser import parse_term
 from repro.logic.terms import Constant, Variable

@@ -1,6 +1,5 @@
 """Unit tests for the critical-event detector (AIS preprocessing)."""
 
-import pytest
 
 from repro.logic.parser import parse_term
 from repro.maritime.ais import AISMessage

@@ -1,13 +1,12 @@
 """Tests for the synthetic dataset builder and thresholds."""
 
-import pytest
 
 from repro.logic.parser import parse_term
 from repro.maritime import build_dataset
 from repro.maritime.dataset import build_knowledge_base
 from repro.maritime.ais import Vessel
 from repro.maritime.geometry import default_geography
-from repro.maritime.thresholds import DEFAULT_THRESHOLDS, Thresholds
+from repro.maritime.thresholds import DEFAULT_THRESHOLDS
 
 
 class TestThresholds:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.logic.parser import parse_term
 from repro.logic.terms import Constant, Variable
-from repro.logic.unification import Substitution, unify
+from repro.logic.unification import Substitution
 from repro.rtec.builtins import evaluate_arithmetic, evaluate_comparison, is_comparison
 from repro.rtec.errors import EvaluationError
 

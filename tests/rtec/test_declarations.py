@@ -1,6 +1,5 @@
 """Tests for initially/1 and maxDuration/2 declarations (RTEC extensions)."""
 
-import pytest
 
 from repro.logic.parser import parse_term
 from repro.rtec import Event, EventDescription, EventStream, RTECEngine, Vocabulary

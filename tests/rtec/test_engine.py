@@ -3,7 +3,6 @@
 import pytest
 
 from repro.intervals import IntervalList
-from repro.logic.knowledge import KnowledgeBase
 from repro.logic.parser import parse_term
 from repro.rtec import (
     Event,

@@ -1,0 +1,82 @@
+"""EvaluationError context: rule head + condition attached as errors
+propagate out of the evaluators."""
+
+import pytest
+
+from repro.logic.parser import parse_rule, parse_term
+from repro.rtec import EventDescription, RTECEngine
+from repro.rtec.compile import compile_rule
+from repro.rtec.errors import EvaluationError
+from repro.rtec.stream import Event, EventStream
+
+
+class TestWithContext:
+    def test_message_carries_rule_and_condition(self):
+        exc = EvaluationError(
+            "unbound variable 'X'",
+            rule_head=parse_term("initiatedAt(f(V)=true, T)"),
+            condition=parse_term("g(X)"),
+        )
+        text = str(exc)
+        assert "unbound variable 'X'" in text
+        assert "condition" in text and "g(X)" in text
+        assert "rule" in text and "initiatedAt" in text
+
+    def test_with_context_fills_only_missing_fields(self):
+        exc = EvaluationError("boom", condition=parse_term("g(X)"))
+        augmented = exc.with_context(
+            rule_head=parse_term("f(V)"), condition=parse_term("other")
+        )
+        assert augmented.rule_head is not None
+        assert repr(augmented.condition) == "g(X)"
+
+    def test_with_context_returns_self_when_nothing_new(self):
+        exc = EvaluationError(
+            "boom", rule_head=parse_term("f(V)"), condition=parse_term("g(X)")
+        )
+        assert exc.with_context(rule_head=parse_term("h(W)")) is exc
+
+
+class TestCompileRejection:
+    def test_unbound_comparison_rejected_with_rule_context(self):
+        rule = parse_rule(
+            "initiatedAt(f(V)=true, T) :- happensAt(gap_start(V), T), X > 1."
+        )
+        with pytest.raises(EvaluationError) as excinfo:
+            compile_rule(rule)
+        assert "unbound variable" in str(excinfo.value)
+        assert "initiatedAt" in str(excinfo.value)
+
+
+class TestRuntimeContext:
+    def test_division_by_zero_carries_condition_and_rule(self):
+        # Division by zero passes the static analysis (all variables bound)
+        # but fails at run time; the error must name the rule and condition.
+        description = EventDescription.from_text(
+            "initiatedAt(f(V)=true, T) :- \n"
+            "    happensAt(speed(V, S), T),\n"
+            "    div(S, 0) > 1.\n"
+            "terminatedAt(f(V)=true, T) :- happensAt(gap_end(V), T).\n"
+        )
+        engine = RTECEngine(description, strict=False)
+        stream = EventStream([Event(1, parse_term("speed(v1, 10)"))])
+        with pytest.raises(EvaluationError) as excinfo:
+            engine.recognise(stream)
+        text = str(excinfo.value)
+        assert "condition" in text
+        assert "div" in text
+        assert "rule" in text
+        assert "initiatedAt" in text
+
+    def test_skip_errors_mode_records_warning_instead(self):
+        description = EventDescription.from_text(
+            "initiatedAt(f(V)=true, T) :- \n"
+            "    happensAt(speed(V, S), T),\n"
+            "    div(S, 0) > 1.\n"
+            "terminatedAt(f(V)=true, T) :- happensAt(gap_end(V), T).\n"
+        )
+        engine = RTECEngine(description, strict=False, skip_errors=True)
+        stream = EventStream([Event(1, parse_term("speed(v1, 10)"))])
+        engine.recognise(stream)
+        assert engine.runtime_warnings
+        assert any("div" in warning for warning in engine.runtime_warnings)

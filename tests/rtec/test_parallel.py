@@ -7,7 +7,6 @@ deadlines and initially/1 declarations. These tests drive randomized
 multi-vessel streams through both paths and compare the full result maps.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Behavioural tests for simple fluents: inertia, negation, exclusivity."""
 
-import pytest
 
 from repro.logic.knowledge import KnowledgeBase
 from repro.logic.parser import parse_term

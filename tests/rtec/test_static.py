@@ -1,6 +1,5 @@
 """Behavioural tests for statically determined fluents."""
 
-import pytest
 
 from repro.logic.knowledge import KnowledgeBase
 from repro.logic.parser import parse_term

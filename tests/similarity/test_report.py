@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.logic.parser import parse_program
 from repro.similarity import event_description_distance
 from repro.similarity.report import format_matching, match_descriptions
 

@@ -1,7 +1,6 @@
 """Unit and property tests for rule and event-description distances."""
 
 import pytest
-from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.logic.parser import parse_program, parse_rule

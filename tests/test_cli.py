@@ -18,6 +18,7 @@ class TestParser:
             "fig2c",
             "recognise",
             "generate",
+            "lint",
             "validate",
             "profile",
         ):
@@ -70,6 +71,65 @@ class TestValidate:
 
     def test_missing_file(self, capsys):
         assert main(["validate", "/nonexistent/rules.prolog"]) == 2
+
+
+class TestLint:
+    def test_gold_maritime_is_error_clean(self, capsys):
+        assert main(["lint", "--gold", "maritime"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_gold_fleet_is_error_clean(self, capsys):
+        assert main(["lint", "--gold", "fleet"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_file_with_error_diagnostic_fails(self, tmp_path, capsys):
+        path = tmp_path / "rules.prolog"
+        path.write_text(
+            "initiatedAt(f(V)=true, T) :- happensAt(gap_start(V), T), X > 1.\n"
+            "terminatedAt(f(V)=true, T) :- happensAt(gap_end(V), T).\n"
+        )
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "RTEC007" in out
+        assert str(path) in out
+
+    def test_fail_on_never_reports_but_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "rules.prolog"
+        path.write_text(
+            "initiatedAt(f(V)=true, T) :- happensAt(gap_start(V), T), X > 1.\n"
+        )
+        assert main(["lint", str(path), "--fail-on", "never"]) == 0
+
+    def test_json_format(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "rules.prolog"
+        path.write_text(
+            "initiatedAt(f(V)=true, T) :- happensAt(gap_start(V), T).\n"
+        )
+        assert main(["lint", str(path), "--format", "json"]) in (0, 1)
+        data = json.loads(capsys.readouterr().out)
+        assert "diagnostics" in data and "summary" in data
+
+    def test_sarif_format(self, capsys):
+        import json
+
+        assert main(["lint", "--gold", "maritime", "--format", "sarif"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["version"] == "2.1.0"
+
+    def test_requires_exactly_one_target(self, capsys):
+        assert main(["lint"]) == 2
+        assert main(["lint", "x", "--gold", "maritime"]) == 2
+
+    def test_missing_file(self):
+        assert main(["lint", "/nonexistent/rules.prolog"]) == 2
+
+    def test_validate_help_mentions_deprecation(self):
+        parser = build_parser()
+        # The deprecation note lives in the subcommand's help string.
+        text = parser.format_help()
+        assert "deprecated: use 'repro lint'" in text
 
 
 class TestRecognise:

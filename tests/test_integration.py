@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.logic.parser import parse_term
 from repro.maritime.gold import COMPOSITE_ACTIVITIES
 from repro.rtec import RTECEngine
 
