@@ -95,3 +95,58 @@ class TestStreamScaling:
                 "\n=== RTEC throughput: %d events in %.2fs = %.0f events/s ==="
                 % (len(dataset.stream), elapsed, len(dataset.stream) / elapsed)
             )
+
+
+class TestIncrementalAppend:
+    """Guard for the O(1)-amortised ingest path of ``EventStream.append``."""
+
+    @staticmethod
+    def _make_events(count):
+        from repro.logic.parser import parse_term
+        from repro.rtec import Event
+
+        terms = [parse_term("speed(v%d, 12)" % (i % 50)) for i in range(50)]
+        return [Event(t, terms[t % 50]) for t in range(count)]
+
+    def test_append_matches_batch_construction(self, benchmark):
+        from repro.rtec import EventStream
+
+        events = self._make_events(2000)
+        stream = EventStream()
+
+        def build():
+            incremental = EventStream()
+            for event in events:
+                incremental.append(event)
+            return incremental
+
+        stream = benchmark.pedantic(build, rounds=1, iterations=1)
+        batch = EventStream(events)
+        assert list(stream) == list(batch)
+        assert stream.functors() == batch.functors()
+
+    def test_append_is_not_quadratic(self, benchmark):
+        """4x the events must cost far less than 16x the time.
+
+        The bound is deliberately generous (CI boxes are noisy); a
+        quadratic regression — rebuilding or re-sorting per arrival —
+        overshoots it by an order of magnitude.
+        """
+        from repro.rtec import EventStream
+
+        benchmark.pedantic(lambda: None, rounds=1)
+        small, large = self._make_events(8000), self._make_events(32000)
+
+        def timed(events):
+            stream = EventStream()
+            started = time.perf_counter()
+            for event in events:
+                stream.append(event)
+            return time.perf_counter() - started
+
+        timed(small)  # warm-up
+        small_seconds = max(timed(small), 1e-6)
+        large_seconds = timed(large)
+        ratio = large_seconds / small_seconds
+        assert ratio < 10.0, "append scaled x%.1f for 4x events" % ratio
+        benchmark.extra_info["append_ratio_4x"] = round(ratio, 2)

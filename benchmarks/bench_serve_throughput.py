@@ -1,0 +1,104 @@
+"""Serving throughput: sustained ingest through the JSON-lines protocol.
+
+The service decouples ingest from reasoning — accepting an event is a
+protocol parse plus a bounded-queue append, while recognition runs on the
+window cadence with cost governed by omega (the paper's Section 2
+argument, applied to a long-lived deployment). This bench pumps the
+maritime workload through a live loopback TCP service and measures:
+
+* sustained ingest (accepted events per second over the pump phase) — the
+  acceptance floor asserted here is 10k events/second;
+* queue discipline — the peak queue depth never exceeds the high-water
+  mark (overload becomes backpressure, not memory growth);
+* end-to-end recognition rate (events per second including the drain to
+  the final query), reported via ``extra_info`` for the benchmark JSON.
+
+Run:  pytest benchmarks/bench_serve_throughput.py --benchmark-only -s
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve import SessionConfig, build_workload, run_replay
+
+#: The acceptance floor for sustained protocol ingest, events/second.
+INGEST_FLOOR = 10_000
+
+
+@pytest.fixture(scope="module")
+def maritime_workload(dataset, gold_description):
+    return build_workload(dataset.stream, dataset.input_fluents, gold_description)
+
+
+@pytest.fixture(scope="module")
+def engine_factory(dataset, gold_description, maritime_workload):
+    from repro.rtec import RTECEngine
+
+    def factory():
+        return {
+            name: RTECEngine(gold_description, dataset.kb, dataset.vocabulary)
+            for name in maritime_workload.sessions
+        }
+
+    return factory
+
+
+class TestServeThroughput:
+    def test_bench_sustained_ingest(
+        self, benchmark, maritime_workload, engine_factory, capsys
+    ):
+        config = SessionConfig(window=1200, high_water=1 << 16)
+        outcome = benchmark.pedantic(
+            lambda: asyncio.run(run_replay(
+                engine_factory, maritime_workload, config, mode="firehose"
+            )),
+            rounds=1,
+            iterations=1,
+        )
+        report = outcome.final_report
+        events = len(maritime_workload.events)
+        recognition_rate = events / (report.ingest_seconds + report.drain_seconds)
+        benchmark.extra_info["events"] = events
+        benchmark.extra_info["ingest_rate"] = round(report.ingest_rate, 1)
+        benchmark.extra_info["recognition_rate"] = round(recognition_rate, 1)
+        benchmark.extra_info["queue_peak"] = report.queue_peak
+        benchmark.extra_info["rejections"] = report.rejections
+        with capsys.disabled():
+            print(
+                "\n=== serve ingest: %d events at %.0f ev/s "
+                "(recognition incl. drain: %.0f ev/s, queue peak %d) ==="
+                % (events, report.ingest_rate, recognition_rate, report.queue_peak)
+            )
+        assert report.events_accepted == events
+        assert report.ingest_rate >= INGEST_FLOOR, (
+            "sustained ingest %.0f ev/s is below the %d ev/s floor"
+            % (report.ingest_rate, INGEST_FLOOR)
+        )
+
+    def test_bench_backpressure_bounds_queue(
+        self, benchmark, maritime_workload, engine_factory, capsys
+    ):
+        high_water = 2048
+        config = SessionConfig(window=1200, high_water=high_water)
+        outcome = benchmark.pedantic(
+            lambda: asyncio.run(run_replay(
+                engine_factory, maritime_workload, config, mode="firehose"
+            )),
+            rounds=1,
+            iterations=1,
+        )
+        report = outcome.final_report
+        benchmark.extra_info["queue_peak"] = report.queue_peak
+        benchmark.extra_info["rejections"] = report.rejections
+        benchmark.extra_info["retries"] = report.retries
+        with capsys.disabled():
+            print(
+                "\n=== serve backpressure: peak %d/%d queued, "
+                "%d rejections over %d retries ==="
+                % (report.queue_peak, high_water, report.rejections, report.retries)
+            )
+        # No unbounded growth: the queue never passed the high-water mark,
+        # yet every event was eventually accepted.
+        assert report.queue_peak <= high_water
+        assert report.events_accepted == len(maritime_workload.events)

@@ -11,6 +11,8 @@ Subcommands mirror the paper's workflow::
     python -m repro lint --gold maritime   # lint a built-in gold description
     python -m repro validate FILE          # deprecated alias of lint (errors only)
     python -m repro profile --window 600   # telemetry span tree of a recognition run
+    python -m repro serve --tcp 7700       # long-lived recognition service
+    python -m repro replay --gold fleet    # pump a dataset through a live service
 """
 
 from __future__ import annotations
@@ -165,7 +167,116 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip maritime vocabulary checks (structural validation only)",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the streaming recognition service (JSON lines over TCP or stdio)",
+        description="Host one or more online recognition sessions behind the "
+        "repro.serve JSON-lines protocol: 'event'/'events' ingest with "
+        "backpressure, 'query' for detections, 'checkpoint' for durable "
+        "snapshots, 'status' for counters, 'shutdown' to stop.",
+    )
+    _add_dataset_arguments(serve)
+    _add_serving_arguments(serve)
+    serve.add_argument(
+        "--tcp",
+        metavar="[HOST:]PORT",
+        default=None,
+        help="listen on this TCP endpoint (default host 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve one connection on stdin/stdout (default when --tcp is absent)",
+    )
+    serve.add_argument(
+        "--sessions", type=int, default=1,
+        help="host this many sessions (named s0..sN-1; one engine each)",
+    )
+    serve.add_argument(
+        "--restore",
+        action="store_true",
+        help="resume each session from its latest checkpoint in --checkpoint-dir",
+    )
+
+    replay = sub.add_parser(
+        "replay",
+        help="pump a dataset through a live service (load generator + crash drill)",
+        description="Boot the recognition service on a loopback socket, split "
+        "the dataset across sessions, pump it through the JSON-lines "
+        "protocol, and report sustained ingest. With --kill-at the service "
+        "is crashed mid-stream and restored from its checkpoints; with "
+        "--verify the final detections are compared byte-for-byte against "
+        "an uninterrupted run and a directly driven RTECSession.",
+    )
+    _add_dataset_arguments(replay)
+    _add_serving_arguments(replay)
+    replay.add_argument(
+        "--sessions", type=int, default=1,
+        help="split the stream across this many sessions by entity component",
+    )
+    replay.add_argument(
+        "--repeat", type=int, default=1,
+        help="tile the stream this many times along the timeline",
+    )
+    replay.add_argument("--limit", type=int, default=None, help="truncate to this many events")
+    replay.add_argument(
+        "--mode", choices=("batched", "firehose"), default="batched",
+        help="batched: acked stop-and-wait batches; firehose: unacked event lines",
+    )
+    replay.add_argument("--batch-size", type=int, default=512)
+    replay.add_argument(
+        "--kill-at", type=float, default=None, metavar="FRACTION",
+        help="crash the service after this fraction of events, then restore",
+    )
+    replay.add_argument(
+        "--verify", action="store_true",
+        help="compare detections against an uninterrupted run and a direct session",
+    )
+    replay.add_argument("--json", action="store_true", help="emit the report as JSON")
+    replay.add_argument(
+        "--emit", action="store_true",
+        help="print the workload as protocol lines (pipe into 'repro serve --stdio')",
+    )
     return parser
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--gold", choices=("maritime", "fleet"), default="maritime",
+        help="which gold event description / dataset to serve (default: maritime)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="maritime dataset seed")
+    parser.add_argument("--scale", type=float, default=0.25, help="maritime dataset scale")
+    parser.add_argument("--traffic", type=int, default=4, help="maritime vessels per berth")
+
+
+def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--window", type=int, default=600, help="window extent (omega)")
+    parser.add_argument(
+        "--step", type=int, default=None,
+        help="query-time cadence (default: the window, i.e. tumbling)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="entity-sharded window evaluation with this many workers",
+    )
+    parser.add_argument(
+        "--high-water", type=int, default=8192,
+        help="ingest-queue high-water mark (events beyond it are rejected)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", default=None,
+        help="directory for durable session checkpoints",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="WINDOWS",
+        help="write a checkpoint every this many windows (0: only on demand)",
+    )
+    parser.add_argument(
+        "--checkpoint-keep", type=int, default=None, metavar="N",
+        help="keep at most N checkpoint files per session",
+    )
 
 
 def _cmd_fig2a(args: argparse.Namespace) -> int:
@@ -426,6 +537,164 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 1
 
 
+def _serving_dataset(args: argparse.Namespace):
+    """(dataset stream, input fluents, engine factory) for ``--gold``."""
+    if args.gold == "fleet":
+        from repro.fleet import build_fleet_dataset, fleet_gold_event_description
+
+        dataset = build_fleet_dataset()
+        description = fleet_gold_event_description()
+    else:
+        dataset = build_dataset(seed=args.seed, scale=args.scale, traffic=args.traffic)
+        description = gold_event_description()
+
+    def make_engine() -> RTECEngine:
+        return RTECEngine(description, dataset.kb, dataset.vocabulary)
+
+    return dataset.stream, dataset.input_fluents, description, make_engine
+
+
+def _session_names(count: int, prefix: str = "s") -> List[str]:
+    if count <= 1:
+        return [prefix]
+    return ["%s%d" % (prefix, index) for index in range(count)]
+
+
+def _serving_config(args: argparse.Namespace):
+    from repro.serve import SessionConfig
+
+    return SessionConfig(
+        window=args.window,
+        step=args.step,
+        jobs=args.jobs,
+        high_water=args.high_water,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_keep=args.checkpoint_keep,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import RecognitionServer, SessionManager
+
+    _stream, _fluents, _description, make_engine = _serving_dataset(args)
+    config = _serving_config(args)
+    sessions = getattr(args, "sessions", 1)
+    manager = SessionManager(checkpoint_dir=args.checkpoint_dir)
+    for name in _session_names(sessions):
+        manager.add_session(name, make_engine(), config, restore=args.restore)
+    server = RecognitionServer(manager)
+    if args.tcp is not None:
+        host, _, port_text = args.tcp.rpartition(":")
+        host = host or "127.0.0.1"
+        try:
+            port = int(port_text)
+        except ValueError:
+            print("error: --tcp expects [HOST:]PORT, got %r" % args.tcp, file=sys.stderr)
+            return 2
+        asyncio.run(server.serve_tcp(host, port))
+    else:
+        asyncio.run(server.serve_stdio())
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    import tempfile
+
+    from repro.serve import build_workload, run_replay
+
+    stream, input_fluents, description, make_engine = _serving_dataset(args)
+    workload = build_workload(
+        stream,
+        input_fluents,
+        description,
+        sessions=args.sessions,
+        repeat=args.repeat,
+        limit=args.limit,
+    )
+    if args.emit:
+        for name, fvp, pairs in workload.fluents:
+            print(json.dumps(
+                {"type": "fluent", "session": name, "fvp": fvp, "intervals": pairs},
+                separators=(",", ":"),
+            ))
+        for name, time, term in workload.events:
+            print(json.dumps(
+                {"type": "event", "session": name, "time": time, "term": term},
+                separators=(",", ":"),
+            ))
+        for name in workload.sessions:
+            print(json.dumps(
+                {"type": "query", "session": name, "at": workload.end_time},
+                separators=(",", ":"),
+            ))
+        print(json.dumps({"type": "shutdown"}, separators=(",", ":")))
+        return 0
+    config = _serving_config(args)
+    checkpoint_dir = args.checkpoint_dir
+    if args.kill_at is not None and checkpoint_dir is None:
+        checkpoint_dir = tempfile.mkdtemp(prefix="repro-serve-ckpt-")
+    if args.kill_at is not None and config.checkpoint_every <= 0:
+        config.checkpoint_every = 1
+
+    def engine_factory():
+        return {name: make_engine() for name in workload.sessions}
+
+    outcome = asyncio.run(run_replay(
+        engine_factory,
+        workload,
+        config,
+        checkpoint_dir=checkpoint_dir,
+        kill_at=args.kill_at,
+        verify=args.verify,
+        batch_size=args.batch_size,
+        mode=args.mode,
+    ))
+    report = outcome.final_report
+    summary = {
+        "gold": args.gold,
+        "sessions": len(workload.sessions),
+        "events": len(workload.events),
+        "window": config.window,
+        "step": config.resolved_step(),
+        "mode": args.mode,
+        "events_sent": report.events_sent,
+        "events_accepted": report.events_accepted,
+        "rejections": report.rejections,
+        "retries": report.retries,
+        "ingest_seconds": round(report.ingest_seconds, 6),
+        "ingest_rate": round(report.ingest_rate, 1),
+        "drain_seconds": round(report.drain_seconds, 6),
+        "queue_peak": report.queue_peak,
+        "detected_fvps": len(outcome.merged),
+        "killed_at_event": outcome.killed_at_event,
+        "checkpoints_restored": outcome.checkpoints_restored,
+        "verified": outcome.verified,
+        "verify_detail": outcome.verify_detail,
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        for key in (
+            "gold", "sessions", "events", "window", "step", "mode",
+            "events_sent", "events_accepted", "rejections", "retries",
+            "ingest_seconds", "ingest_rate", "drain_seconds", "queue_peak",
+            "detected_fvps", "killed_at_event",
+        ):
+            print("%-22s %s" % (key, summary[key]))
+        if outcome.killed_at_event is not None:
+            print("%-22s %s" % ("checkpoints_restored", outcome.checkpoints_restored))
+        if args.verify:
+            print("%-22s %s" % ("verified", outcome.verified))
+            print("%-22s %s" % ("verify_detail", outcome.verify_detail))
+    if args.verify and not outcome.verified:
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "fig2a": _cmd_fig2a,
     "fig2b": _cmd_fig2b,
@@ -437,6 +706,8 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "lint": _cmd_lint,
     "validate": _cmd_validate,
+    "serve": _cmd_serve,
+    "replay": _cmd_replay,
 }
 
 

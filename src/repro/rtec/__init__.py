@@ -35,7 +35,7 @@ from repro.rtec.errors import (
     ValidationIssue,
 )
 from repro.rtec.result import RecognitionResult
-from repro.rtec.session import RTECSession
+from repro.rtec.session import RTECSession, SessionSnapshot
 from repro.rtec.stream import Event, EventStream, InputFluents, InputShard, partition_input
 
 __all__ = [
@@ -54,6 +54,7 @@ __all__ = [
     "partition_input",
     "RecognitionResult",
     "RTECSession",
+    "SessionSnapshot",
     "Event",
     "EventStream",
     "InputFluents",

@@ -37,7 +37,32 @@ from repro.rtec.engine import RTECEngine
 from repro.rtec.result import RecognitionResult
 from repro.rtec.stream import EventStream, InputFluents, partition_input
 
-__all__ = ["ShardedRTECEngine", "recognise_sharded"]
+__all__ = ["ShardedRTECEngine", "recognise_sharded", "shard_pool"]
+
+#: Shared thread pool for per-session shard fan-out, grown on demand.
+_SHARD_POOL: Optional[ThreadPoolExecutor] = None
+_SHARD_POOL_SIZE = 0
+
+
+def shard_pool(workers: int) -> ThreadPoolExecutor:
+    """A process-wide thread pool with at least ``workers`` threads.
+
+    Long-lived online sessions (and the serving layer, which advances many
+    sessions on a cadence) fan each window out over threads; creating a
+    pool per advance costs more than small windows take to evaluate. The
+    shared pool is grown, never shrunk, and is safe to share between
+    sessions because every submitted shard task is independent.
+    """
+    global _SHARD_POOL, _SHARD_POOL_SIZE
+    if _SHARD_POOL is None or workers > _SHARD_POOL_SIZE:
+        # The previous, smaller pool is dropped without shutdown: callers
+        # that already grabbed it keep a working executor (its idle threads
+        # cost nothing and are reaped at interpreter exit).
+        _SHARD_POOL_SIZE = max(workers, _SHARD_POOL_SIZE)
+        _SHARD_POOL = ThreadPoolExecutor(
+            max_workers=_SHARD_POOL_SIZE, thread_name_prefix="rtec-shard"
+        )
+    return _SHARD_POOL
 
 #: Everything one worker needs to recognise one shard, picklable.
 _ShardPayload = Tuple[Any, ...]

@@ -3,14 +3,19 @@
 A :class:`RecognitionResult` maps every ground fluent-value pair computed
 during recognition to its amalgamated maximal intervals, and offers the
 query predicates of the RTEC language (``holdsFor``, ``holdsAt``).
+Results serialize to plain dictionaries (:meth:`RecognitionResult.to_dict`
+/ :meth:`~RecognitionResult.from_dict`) and to stable JSON, which the
+serving and checkpoint layers rely on.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+import json
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.intervals import IntervalList, union_all
 from repro.logic.parser import parse_term
+from repro.logic.pretty import term_to_str
 from repro.logic.terms import Compound, Term, is_fvp
 from repro.rtec.description import fluent_key
 
@@ -59,6 +64,49 @@ class RecognitionResult:
 
     def items(self) -> Iterator[Tuple[Term, IntervalList]]:
         return iter(self._intervals.items())
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, List[List[int]]]:
+        """FVP concrete syntax -> ``[start, end]`` pairs, sorted by FVP.
+
+        The mapping round-trips through :meth:`from_dict`: terms are
+        rendered with the pretty-printer and parsed back, intervals keep
+        their closed bounds. Keys are emitted in sorted order so two equal
+        results always serialize to the same JSON text.
+        """
+        return {
+            term_to_str(pair): [[iv.start, iv.end] for iv in intervals]
+            for pair, intervals in sorted(
+                self._intervals.items(), key=lambda kv: term_to_str(kv[0])
+            )
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Sequence[Sequence[int]]]
+    ) -> "RecognitionResult":
+        """Rebuild a result from a :meth:`to_dict` mapping."""
+        intervals: Dict[Term, IntervalList] = {}
+        for text, pairs in data.items():
+            pair = cls._coerce(text)
+            intervals[pair] = IntervalList(
+                (int(start), int(end)) for start, end in pairs
+            )
+        return cls(intervals)
+
+    def to_json(self) -> str:
+        """Stable JSON text: equal results produce identical strings."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "RecognitionResult":
+        return cls.from_dict(json.loads(text))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RecognitionResult):
+            return NotImplemented
+        return self._intervals == other._intervals
 
     def __len__(self) -> int:
         return len(self._intervals)

@@ -10,13 +10,19 @@ one call.
 
 A session and a batch run over the same stream with the same query times
 produce identical results (a property checked by the test suite).
+
+Session state is exposed through :meth:`RTECSession.snapshot` /
+:meth:`RTECSession.restore` (cheap copies of the windowed buffers, used by
+the checkpoint layer). The ``_``-prefixed attributes are private: reading
+or writing them directly is deprecated — their layout can change between
+releases, whereas :class:`SessionSnapshot` is a stable surface.
 """
 
 from __future__ import annotations
 
 import copy
 import warnings
-from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro import telemetry
@@ -26,7 +32,29 @@ from repro.rtec.engine import RTECEngine
 from repro.rtec.result import RecognitionResult
 from repro.rtec.stream import Event, EventStream, InputFluents, partition_input
 
-__all__ = ["RTECSession"]
+__all__ = ["RTECSession", "SessionSnapshot"]
+
+
+@dataclass
+class SessionSnapshot:
+    """A self-contained copy of an :class:`RTECSession`'s windowed state.
+
+    Everything a restarted session needs to continue exactly where the
+    original left off: the retained event buffer, the retained input-fluent
+    intervals, the open initiations carried between windows, the
+    amalgamated result, and the query-time cursor. Produced by
+    :meth:`RTECSession.snapshot` and consumed by
+    :meth:`RTECSession.restore` / :meth:`RTECSession.from_snapshot`; the
+    checkpoint layer (:mod:`repro.serve.checkpoint`) serializes it to JSON.
+    """
+
+    window: int
+    buffer: List[Event] = field(default_factory=list)
+    fluent_intervals: Dict[Term, IntervalList] = field(default_factory=dict)
+    pending: Dict[Term, int] = field(default_factory=dict)
+    result: RecognitionResult = field(default_factory=RecognitionResult)
+    last_query: Optional[int] = None
+    first_advance: bool = True
 
 
 class RTECSession:
@@ -267,9 +295,10 @@ class RTECSession:
             )
             return result, opened, shard_warnings
 
+        from repro.rtec.parallel import shard_pool
+
         workers = min(self.jobs or 1, len(shards))
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            outcomes = list(pool.map(run_shard, range(len(shards))))
+        outcomes = list(shard_pool(workers).map(run_shard, range(len(shards))))
         next_pending: Dict[Term, int] = {}
         for result, opened, shard_warnings in outcomes:
             for pair, intervals in result.items():
@@ -277,6 +306,59 @@ class RTECSession:
             next_pending.update(opened)
             self.engine.runtime_warnings.extend(shard_warnings)
         return next_pending
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def snapshot(self) -> SessionSnapshot:
+        """A cheap, self-contained copy of the session's windowed state.
+
+        Events, terms and interval lists are immutable, so the snapshot
+        shares them and only copies the containers: taking one is O(state
+        bounded by omega), never O(stream). The snapshot is independent of
+        the live session — later ``submit``/``advance`` calls do not mutate
+        it — which makes it safe to serialize asynchronously.
+        """
+        return SessionSnapshot(
+            window=self.window,
+            buffer=list(self._buffer),
+            fluent_intervals=dict(self._fluent_intervals),
+            pending=dict(self._pending),
+            result=RecognitionResult(dict(self._result.items())),
+            last_query=self._last_query,
+            first_advance=self._first_advance,
+        )
+
+    def restore(self, snapshot: SessionSnapshot) -> None:
+        """Reset this session to a previously captured snapshot.
+
+        After restoring, re-submitting the events that arrived after the
+        snapshot and advancing over the same query times yields intervals
+        identical to an uninterrupted run (property-checked by the test
+        suite). The snapshot's window must match the session's.
+        """
+        if snapshot.window != self.window:
+            raise ValueError(
+                "snapshot window %d does not match session window %d"
+                % (snapshot.window, self.window)
+            )
+        self._buffer = list(snapshot.buffer)
+        self._fluent_intervals = dict(snapshot.fluent_intervals)
+        self._pending = dict(snapshot.pending)
+        self._result = RecognitionResult(dict(snapshot.result.items()))
+        self._last_query = snapshot.last_query
+        self._first_advance = snapshot.first_advance
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        engine: RTECEngine,
+        snapshot: SessionSnapshot,
+        jobs: Optional[int] = None,
+    ) -> "RTECSession":
+        """A fresh session continuing from ``snapshot`` (restart path)."""
+        session = cls(engine, snapshot.window, jobs=jobs)
+        session.restore(snapshot)
+        return session
 
     # -- queries ----------------------------------------------------------------
 

@@ -89,6 +89,62 @@ class EventStream:
         for ekey, bucket in self._by_entity.items():
             self._entity_times[ekey] = [e.time for e in bucket]
 
+    def append(self, event: Event) -> None:
+        """Add one event, keeping every index consistent.
+
+        Ingest paths (the serving layer, replay drivers) receive events one
+        at a time; rebuilding the stream per arrival would make ingest
+        quadratic. In-order arrivals — the overwhelmingly common case —
+        append at the tail of every index in O(1); out-of-order arrivals
+        fall back to a binary-search insert (O(n) memory move, still far
+        cheaper than a rebuild). Nothing is re-sorted or re-validated.
+        """
+        sort_key = (event.time, repr(event.term))
+        if not self._sorted or sort_key >= (
+            self._sorted[-1].time,
+            repr(self._sorted[-1].term),
+        ):
+            self._sorted.append(event)
+        else:
+            self._sorted.insert(self._bisect_sorted(sort_key), event)
+        self._count += 1
+        if self._min_time is None or event.time < self._min_time:
+            self._min_time = event.time
+        if self._max_time is None or event.time > self._max_time:
+            self._max_time = event.time
+        key = (event.functor, event.arity)
+        self._insert_bucket(
+            self._by_functor[key], self._times_by_functor.setdefault(key, []), event
+        )
+        if isinstance(event.term, Compound):
+            ekey = key + (event.term.args[0],)
+            self._insert_bucket(
+                self._by_entity[ekey], self._entity_times.setdefault(ekey, []), event
+            )
+
+    def _bisect_sorted(self, sort_key: Tuple[int, str]) -> int:
+        """First position whose (time, repr) key exceeds ``sort_key``."""
+        lo, hi = 0, len(self._sorted)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            candidate = self._sorted[mid]
+            if (candidate.time, repr(candidate.term)) <= sort_key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    @staticmethod
+    def _insert_bucket(bucket: List[Event], times: List[int], event: Event) -> None:
+        """Insert into one (events, times) index pair, O(1) at the tail."""
+        if not times or event.time >= times[-1]:
+            bucket.append(event)
+            times.append(event.time)
+        else:
+            position = bisect_right(times, event.time)
+            bucket.insert(position, event)
+            times.insert(position, event.time)
+
     @property
     def min_time(self) -> Optional[int]:
         return self._min_time

@@ -1,0 +1,234 @@
+"""Durable checkpoints of online recognition sessions.
+
+A checkpoint is one JSON file holding a :class:`~repro.rtec.session.SessionSnapshot`
+plus the bookkeeping a restart needs:
+
+* ``version`` — the checkpoint format version (currently 1);
+* ``session`` — the session name;
+* ``windows`` — how many windows the session had advanced (also the file's
+  monotonically increasing sequence number);
+* ``applied`` — how many input items (events and fluent deliveries) the
+  service had applied to the session, in arrival order. A replayer that
+  recorded its stream resumes ingest at this offset: items in flight but
+  not yet applied at the crash are re-sent, items already inside the
+  snapshot's buffer are not;
+* ``description_hash`` — SHA-256 of the event description's concrete
+  syntax. Restoring onto a different description is refused: carried
+  initiations and amalgamated intervals are only meaningful against the
+  rules that produced them.
+
+Files are named ``<session>-<windows:08d>.json`` and written atomically
+(temp file + rename), so the latest complete checkpoint is always loadable
+even if the process dies mid-write. Old checkpoints are kept (they are
+small — session state is bounded by omega, not by the stream) unless a
+``keep`` budget is given.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.intervals import IntervalList
+from repro.logic.parser import parse_term
+from repro.logic.pretty import term_to_str
+from repro.logic.terms import Term
+from repro.rtec.description import EventDescription
+from repro.rtec.result import RecognitionResult
+from repro.rtec.session import SessionSnapshot
+from repro.rtec.stream import Event
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "CheckpointError",
+    "description_hash",
+    "latest_checkpoint",
+    "list_checkpoints",
+    "load_checkpoint",
+    "snapshot_from_dict",
+    "snapshot_to_dict",
+    "write_checkpoint",
+]
+
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written, read, or applied."""
+
+
+def description_hash(description: EventDescription) -> str:
+    """SHA-256 of the description's concrete syntax (restore compatibility key)."""
+    return hashlib.sha256(description.to_text().encode()).hexdigest()
+
+
+@dataclass
+class Checkpoint:
+    """One loaded checkpoint file."""
+
+    session: str
+    windows: int
+    applied: int
+    description_hash: str
+    snapshot: SessionSnapshot
+    path: Optional[str] = None
+
+
+# -- snapshot (de)serialization ------------------------------------------------
+
+
+def snapshot_to_dict(snapshot: SessionSnapshot) -> Dict[str, object]:
+    """A JSON-ready mapping; terms render to concrete syntax, intervals to pairs."""
+    return {
+        "window": snapshot.window,
+        "buffer": [[event.time, term_to_str(event.term)] for event in snapshot.buffer],
+        "fluents": {
+            term_to_str(pair): [[iv.start, iv.end] for iv in intervals]
+            for pair, intervals in sorted(
+                snapshot.fluent_intervals.items(), key=lambda kv: term_to_str(kv[0])
+            )
+        },
+        "pending": {
+            term_to_str(pair): started
+            for pair, started in sorted(
+                snapshot.pending.items(), key=lambda kv: term_to_str(kv[0])
+            )
+        },
+        "result": snapshot.result.to_dict(),
+        "last_query": snapshot.last_query,
+        "first_advance": snapshot.first_advance,
+    }
+
+
+def snapshot_from_dict(data: Dict[str, object]) -> SessionSnapshot:
+    buffer = [
+        Event(int(time), parse_term(text)) for time, text in data.get("buffer", [])  # type: ignore[union-attr]
+    ]
+    fluent_intervals: Dict[Term, IntervalList] = {}
+    for text, pairs in dict(data.get("fluents", {})).items():  # type: ignore[arg-type]
+        fluent_intervals[parse_term(text)] = IntervalList(
+            (int(start), int(end)) for start, end in pairs
+        )
+    pending = {
+        parse_term(text): int(started)
+        for text, started in dict(data.get("pending", {})).items()  # type: ignore[arg-type]
+    }
+    last_query = data.get("last_query")
+    return SessionSnapshot(
+        window=int(data["window"]),  # type: ignore[arg-type]
+        buffer=buffer,
+        fluent_intervals=fluent_intervals,
+        pending=pending,
+        result=RecognitionResult.from_dict(data.get("result", {})),  # type: ignore[arg-type]
+        last_query=None if last_query is None else int(last_query),  # type: ignore[arg-type]
+        first_advance=bool(data.get("first_advance", False)),
+    )
+
+
+# -- files ---------------------------------------------------------------------
+
+
+def _checkpoint_name(session: str, windows: int) -> str:
+    return "%s-%08d.json" % (session, windows)
+
+
+def write_checkpoint(
+    directory: str,
+    session: str,
+    snapshot: SessionSnapshot,
+    *,
+    applied: int,
+    windows: int,
+    description_digest: str,
+    keep: Optional[int] = None,
+) -> str:
+    """Write one checkpoint atomically; returns the file path.
+
+    ``keep``, when given, prunes all but the newest ``keep`` checkpoints of
+    the session after a successful write.
+    """
+    os.makedirs(directory, exist_ok=True)
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "session": session,
+        "windows": windows,
+        "applied": applied,
+        "description_hash": description_digest,
+        "snapshot": snapshot_to_dict(snapshot),
+    }
+    path = os.path.join(directory, _checkpoint_name(session, windows))
+    handle, temp_path = tempfile.mkstemp(
+        prefix=".%s-" % session, suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(handle, "w") as stream:
+            json.dump(payload, stream, sort_keys=True, separators=(",", ":"))
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(temp_path, path)
+    except OSError as exc:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise CheckpointError("cannot write checkpoint %s: %s" % (path, exc))
+    if keep is not None and keep > 0:
+        for _windows, stale in list_checkpoints(directory, session)[:-keep]:
+            try:
+                os.unlink(stale)
+            except OSError:
+                pass
+    return path
+
+
+def list_checkpoints(directory: str, session: str) -> List[Tuple[int, str]]:
+    """All complete checkpoints of ``session``, oldest first."""
+    prefix = session + "-"
+    found: List[Tuple[int, str]] = []
+    try:
+        entries = os.listdir(directory)
+    except OSError:
+        return []
+    for entry in entries:
+        if not entry.startswith(prefix) or not entry.endswith(".json"):
+            continue
+        sequence = entry[len(prefix) : -len(".json")]
+        if sequence.isdigit():
+            found.append((int(sequence), os.path.join(directory, entry)))
+    return sorted(found)
+
+
+def latest_checkpoint(directory: str, session: str) -> Optional[str]:
+    """Path of the newest complete checkpoint of ``session``, if any."""
+    found = list_checkpoints(directory, session)
+    return found[-1][1] if found else None
+
+
+def load_checkpoint(path: str) -> Checkpoint:
+    try:
+        with open(path) as stream:
+            payload = json.load(stream)
+    except (OSError, ValueError) as exc:
+        raise CheckpointError("cannot read checkpoint %s: %s" % (path, exc))
+    version = payload.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            "checkpoint %s has format version %r; this build reads version %d"
+            % (path, version, CHECKPOINT_VERSION)
+        )
+    try:
+        return Checkpoint(
+            session=payload["session"],
+            windows=int(payload["windows"]),
+            applied=int(payload["applied"]),
+            description_hash=payload["description_hash"],
+            snapshot=snapshot_from_dict(payload["snapshot"]),
+            path=path,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError("malformed checkpoint %s: %s" % (path, exc))

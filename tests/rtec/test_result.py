@@ -61,3 +61,47 @@ class TestMerge:
         recognition = RecognitionResult()
         recognition.merge(parse_term("f(v1)=true"), IntervalList())
         assert len(recognition) == 0
+
+
+class TestSerialization:
+    def test_to_dict_renders_terms_and_pairs(self, result):
+        data = result.to_dict()
+        assert data["trawling(v1)=true"] == [[10, 20]]
+        assert data["stopped(v1)=nearPorts"] == [[1, 4]]
+
+    def test_to_dict_is_sorted(self, result):
+        assert list(result.to_dict()) == sorted(result.to_dict())
+
+    def test_round_trip_preserves_everything(self, result):
+        restored = RecognitionResult.from_dict(result.to_dict())
+        assert restored == result
+        assert restored.to_dict() == result.to_dict()
+
+    def test_json_round_trip(self, result):
+        restored = RecognitionResult.from_json(result.to_json())
+        assert restored == result
+
+    def test_json_is_stable(self, result):
+        # Byte-identical across round trips: the serving equivalence tests
+        # compare detections with string equality on this form.
+        text = result.to_json()
+        assert RecognitionResult.from_json(text).to_json() == text
+
+    def test_empty_round_trip(self):
+        empty = RecognitionResult()
+        assert RecognitionResult.from_json(empty.to_json()) == empty
+
+    def test_equality_ignores_insertion_order(self):
+        one = RecognitionResult()
+        one.merge(parse_term("a(x)=true"), IntervalList([(1, 2)]))
+        one.merge(parse_term("b(x)=true"), IntervalList([(3, 4)]))
+        other = RecognitionResult()
+        other.merge(parse_term("b(x)=true"), IntervalList([(3, 4)]))
+        other.merge(parse_term("a(x)=true"), IntervalList([(1, 2)]))
+        assert one == other
+        assert one.to_json() == other.to_json()
+
+    def test_inequality(self, result):
+        other = RecognitionResult.from_dict(result.to_dict())
+        other.merge(parse_term("trawling(v1)=true"), IntervalList([(30, 40)]))
+        assert other != result

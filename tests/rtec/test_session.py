@@ -243,3 +243,55 @@ class TestSessionEquivalence:
         assert sorted(map(repr, batch.fvps())) == sorted(map(repr, session.result.fvps()))
         for pair in batch.fvps():
             assert session.holds_for(pair) == batch.holds_for(pair), pair
+
+
+class TestSnapshot:
+    def test_snapshot_restore_round_trip(self):
+        session = RTECSession(_engine(), window=20)
+        session.submit([_event(5, "start(v1)")])
+        session.advance(10)
+        snapshot = session.snapshot()
+        fresh = RTECSession.from_snapshot(_engine(), snapshot)
+        assert fresh.result.to_json() == session.result.to_json()
+        assert fresh.last_query_time == session.last_query_time
+
+    def test_restored_session_continues_identically(self):
+        driver = RTECSession(_engine(), window=20)
+        driver.submit([_event(5, "start(v1)")])
+        driver.advance(10)
+        resumed = RTECSession.from_snapshot(_engine(), driver.snapshot())
+        tail = [_event(15, "stop(v1)"), _event(24, "start(v2)")]
+        for session in (driver, resumed):
+            session.submit(tail)
+            session.advance(30)
+        assert resumed.result.to_json() == driver.result.to_json()
+
+    def test_snapshot_is_isolated_from_later_mutation(self):
+        session = RTECSession(_engine(), window=20)
+        session.submit([_event(5, "start(v1)")])
+        session.advance(10)
+        snapshot = session.snapshot()
+        buffered = list(snapshot.buffer)
+        session.submit([_event(12, "stop(v1)")])
+        session.advance(20)
+        assert list(snapshot.buffer) == buffered
+
+    def test_restore_rejects_window_mismatch(self):
+        session = RTECSession(_engine(), window=20)
+        session.advance(10)
+        other = RTECSession(_engine(), window=40)
+        with pytest.raises(ValueError):
+            other.restore(session.snapshot())
+
+    def test_snapshot_carries_pending_initiations(self):
+        # An initiation with no terminator stays open across the snapshot:
+        # the restored session must keep extending it.
+        session = RTECSession(_engine(), window=10)
+        session.submit([_event(3, "start(v1)")])
+        session.advance(10)
+        resumed = RTECSession.from_snapshot(_engine(), session.snapshot())
+        session.advance(20)
+        resumed.advance(20)
+        assert resumed.holds_for("f(v1)=true").as_pairs() == (
+            session.holds_for("f(v1)=true").as_pairs()
+        )

@@ -108,3 +108,51 @@ class TestInputFluents:
         fluents = InputFluents()
         with pytest.raises(ValueError):
             fluents.set(parse_term("proximity(V, v2)=true"), IntervalList())
+
+
+class TestAppend:
+    def _assert_equivalent(self, incremental, batch):
+        assert list(incremental) == list(batch)
+        assert len(incremental) == len(batch)
+        assert incremental.min_time == batch.min_time
+        assert incremental.max_time == batch.max_time
+        assert incremental.functors() == batch.functors()
+        span = (-1, (batch.max_time or 0) + 1)
+        for functor, arity in batch.functors():
+            assert list(incremental.events_in_window(functor, arity, *span)) == list(
+                batch.events_in_window(functor, arity, *span)
+            )
+
+    def test_tail_append_matches_batch(self):
+        events = [_event(t, "speed(v1, %d)" % t) for t in (1, 3, 3, 7)]
+        incremental = EventStream()
+        for event in events:
+            incremental.append(event)
+        self._assert_equivalent(incremental, EventStream(events))
+
+    def test_out_of_order_append_matches_batch(self):
+        events = [
+            _event(7, "entersArea(v1, a1)"),
+            _event(1, "speed(v1, 9)"),
+            _event(4, "speed(v2, 3)"),
+            _event(4, "entersArea(v2, a1)"),
+            _event(2, "speed(v1, 5)"),
+        ]
+        incremental = EventStream()
+        for event in events:
+            incremental.append(event)
+        self._assert_equivalent(incremental, EventStream(sorted(events, key=lambda e: e.time)))
+
+    def test_append_updates_entity_index(self):
+        stream = EventStream([_event(5, "speed(v1, 9)")])
+        stream.append(_event(3, "speed(v1, 7)"))
+        stream.append(_event(8, "speed(v2, 2)"))
+        times = [e.time for e in stream.events_in_window("speed", 2, 0, 10, first=parse_term("v1"))]
+        assert times == [3, 5]
+
+    def test_append_then_window_query(self):
+        stream = EventStream()
+        for t in (2, 9, 4, 11):
+            stream.append(_event(t, "alarm"))
+        assert [e.time for e in stream.events_in_window("alarm", 0, 3, 10)] == [4, 9]
+        assert stream.count_in_window(3, 10) == 2

@@ -1,0 +1,145 @@
+"""Unit tests for durable session checkpoints."""
+
+import json
+import os
+
+import pytest
+
+from repro.intervals import IntervalList
+from repro.logic.parser import parse_term
+from repro.rtec import Event, EventDescription, RTECEngine
+from repro.rtec.session import RTECSession
+from repro.serve.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    description_hash,
+    latest_checkpoint,
+    list_checkpoints,
+    load_checkpoint,
+    snapshot_from_dict,
+    snapshot_to_dict,
+    write_checkpoint,
+)
+
+RULES = """
+initiatedAt(f(V)=true, T) :- happensAt(start(V), T).
+terminatedAt(f(V)=true, T) :- happensAt(stop(V), T).
+"""
+
+
+def _engine():
+    return RTECEngine(EventDescription.from_text(RULES), strict=False)
+
+
+def _session_with_state():
+    session = RTECSession(_engine(), window=20)
+    session.submit_fluent(parse_term("speedNear(v1)=true"), IntervalList([(2, 30)]))
+    session.submit([Event(5, parse_term("start(v1)"))])
+    session.advance(10)
+    session.submit([Event(14, parse_term("start(v2)"))])
+    return session
+
+
+class TestSnapshotSerialization:
+    def test_round_trip_preserves_state(self):
+        session = _session_with_state()
+        snapshot = session.snapshot()
+        restored = snapshot_from_dict(snapshot_to_dict(snapshot))
+        assert restored.window == snapshot.window
+        assert restored.last_query == snapshot.last_query
+        assert restored.first_advance == snapshot.first_advance
+        assert [(e.time, e.term) for e in restored.buffer] == [
+            (e.time, e.term) for e in snapshot.buffer
+        ]
+        assert restored.pending == snapshot.pending
+        assert restored.result == snapshot.result
+        assert {
+            pair: intervals.as_pairs()
+            for pair, intervals in restored.fluent_intervals.items()
+        } == {
+            pair: intervals.as_pairs()
+            for pair, intervals in snapshot.fluent_intervals.items()
+        }
+
+    def test_dict_form_is_json_serialisable(self):
+        payload = snapshot_to_dict(_session_with_state().snapshot())
+        assert json.loads(json.dumps(payload)) == json.loads(json.dumps(payload))
+
+    def test_restored_snapshot_continues_identically(self):
+        session = _session_with_state()
+        resumed = RTECSession.from_snapshot(
+            _engine(), snapshot_from_dict(snapshot_to_dict(session.snapshot()))
+        )
+        tail = [Event(25, parse_term("stop(v1)"))]
+        for target in (session, resumed):
+            target.submit(tail)
+            target.advance(30)
+        assert resumed.result.to_json() == session.result.to_json()
+
+
+class TestCheckpointFiles:
+    def test_write_then_load(self, tmp_path):
+        session = _session_with_state()
+        digest = description_hash(session.engine.description)
+        path = write_checkpoint(
+            str(tmp_path), "s0", session.snapshot(),
+            applied=7, windows=2, description_digest=digest,
+        )
+        assert os.path.basename(path) == "s0-00000002.json"
+        loaded = load_checkpoint(path)
+        assert loaded.session == "s0"
+        assert loaded.windows == 2
+        assert loaded.applied == 7
+        assert loaded.description_hash == digest
+        assert loaded.snapshot.result == session.snapshot().result
+
+    def test_listing_is_ordered_and_per_session(self, tmp_path):
+        session = _session_with_state()
+        digest = description_hash(session.engine.description)
+        for windows in (3, 1, 2):
+            write_checkpoint(
+                str(tmp_path), "s0", session.snapshot(),
+                applied=windows, windows=windows, description_digest=digest,
+            )
+        write_checkpoint(
+            str(tmp_path), "other", session.snapshot(),
+            applied=9, windows=9, description_digest=digest,
+        )
+        listed = list_checkpoints(str(tmp_path), "s0")
+        assert [windows for windows, _path in listed] == [1, 2, 3]
+        assert latest_checkpoint(str(tmp_path), "s0") == listed[-1][1]
+
+    def test_keep_prunes_oldest(self, tmp_path):
+        session = _session_with_state()
+        digest = description_hash(session.engine.description)
+        for windows in (1, 2, 3, 4):
+            write_checkpoint(
+                str(tmp_path), "s0", session.snapshot(),
+                applied=windows, windows=windows, description_digest=digest,
+                keep=2,
+            )
+        assert [w for w, _ in list_checkpoints(str(tmp_path), "s0")] == [3, 4]
+
+    def test_load_rejects_other_versions(self, tmp_path):
+        path = tmp_path / "s0-00000001.json"
+        path.write_text(json.dumps({"version": CHECKPOINT_VERSION + 1}))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
+
+    def test_load_rejects_corrupt_files(self, tmp_path):
+        path = tmp_path / "s0-00000001.json"
+        path.write_text("{ truncated")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
+
+    def test_missing_directory_lists_empty(self, tmp_path):
+        assert list_checkpoints(str(tmp_path / "nope"), "s0") == []
+        assert latest_checkpoint(str(tmp_path / "nope"), "s0") is None
+
+    def test_description_hash_tracks_text(self):
+        one = EventDescription.from_text(RULES)
+        other = EventDescription.from_text(
+            RULES + "\ninitiatedAt(g(V)=true, T) :- happensAt(go(V), T).\n"
+        )
+        assert description_hash(one) == description_hash(EventDescription.from_text(RULES))
+        assert description_hash(one) != description_hash(other)

@@ -1,0 +1,67 @@
+"""Property test: crash-at-any-point + restore is invisible in the output.
+
+For *any* checkpoint cadence and *any* kill point, killing the service
+mid-stream and restoring from the latest checkpoints must yield detections
+byte-identical (stable JSON) to the uninterrupted run. This is the
+guarantee the whole checkpoint/restore design rests on; hypothesis probes
+the cadence/kill-point space instead of pinning one happy path.
+"""
+
+import asyncio
+import shutil
+import tempfile
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import build_fleet_dataset, fleet_gold_event_description
+from repro.rtec import RTECEngine
+from repro.serve import SessionConfig, build_workload, run_replay
+
+_WINDOW = 600
+_STEP = 300
+
+
+@pytest.fixture(scope="module")
+def fleet_service():
+    dataset = build_fleet_dataset()
+    description = fleet_gold_event_description()
+
+    def make_engine():
+        return RTECEngine(description, dataset.kb, dataset.vocabulary)
+
+    workload = build_workload(dataset.stream, dataset.input_fluents, description)
+
+    def engine_factory():
+        return {name: make_engine() for name in workload.sessions}
+
+    baseline = asyncio.run(run_replay(
+        engine_factory, workload, SessionConfig(window=_WINDOW, step=_STEP)
+    ))
+    return workload, engine_factory, baseline.merged.to_json()
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture, HealthCheck.too_slow],
+)
+@given(
+    kill_at=st.floats(min_value=0.05, max_value=0.95),
+    checkpoint_every=st.integers(min_value=1, max_value=4),
+)
+def test_checkpoint_every_k_windows_is_equivalent(fleet_service, kill_at, checkpoint_every):
+    workload, engine_factory, expected = fleet_service
+    checkpoint_dir = tempfile.mkdtemp(prefix="repro-serve-prop-")
+    try:
+        outcome = asyncio.run(run_replay(
+            engine_factory,
+            workload,
+            SessionConfig(window=_WINDOW, step=_STEP, checkpoint_every=checkpoint_every),
+            checkpoint_dir=checkpoint_dir,
+            kill_at=kill_at,
+        ))
+    finally:
+        shutil.rmtree(checkpoint_dir, ignore_errors=True)
+    assert outcome.merged.to_json() == expected

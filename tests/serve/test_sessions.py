@@ -1,0 +1,193 @@
+"""Unit tests for managed sessions: backpressure, ordering, failure isolation."""
+
+import asyncio
+
+import pytest
+
+from repro.rtec import EventDescription, RTECEngine
+from repro.serve.protocol import ProtocolError
+from repro.serve.sessions import ManagedSession, SessionConfig, SessionManager
+
+RULES = """
+initiatedAt(f(V)=true, T) :- happensAt(start(V), T).
+terminatedAt(f(V)=true, T) :- happensAt(stop(V), T).
+"""
+
+
+def _engine():
+    return RTECEngine(EventDescription.from_text(RULES), strict=False)
+
+
+def _run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestBackpressure:
+    def test_queue_overflow_rejects_with_retry_hint(self):
+        async def scenario():
+            managed = ManagedSession(
+                "s", _engine(), SessionConfig(window=20, high_water=4)
+            )
+            # Worker not started: everything offered stays queued.
+            assert managed.offer_events([(1, "start(v1)"), (2, "start(v2)")]) is None
+            assert managed.offer_events([(3, "start(v3)"), (4, "start(v4)")]) is None
+            rejection = managed.offer_events([(5, "start(v5)")])
+            assert rejection is not None
+            assert rejection["error"] == "backpressure"
+            assert rejection["retry_after"] > 0
+            assert rejection["queue_depth"] == 4
+            return managed
+
+        managed = _run(scenario())
+        assert managed.counters.rejected == 1
+        assert managed.counters.queue_peak == 4
+
+    def test_batches_accept_or_reject_atomically(self):
+        async def scenario():
+            managed = ManagedSession(
+                "s", _engine(), SessionConfig(window=20, high_water=4)
+            )
+            assert managed.offer_events([(1, "start(v1)")]) is None
+            oversized = [(t, "start(v%d)" % t) for t in range(2, 6)]
+            rejection = managed.offer_events(oversized)
+            assert rejection is not None
+            # Nothing from the rejected batch was queued.
+            assert managed.queue.qsize() == 1
+            return managed
+
+        managed = _run(scenario())
+        assert managed.counters.rejected == 4
+
+    def test_fluent_overflow_rejects(self):
+        async def scenario():
+            managed = ManagedSession(
+                "s", _engine(), SessionConfig(window=20, high_water=1)
+            )
+            assert managed.offer_events([(1, "start(v1)")]) is None
+            rejection = managed.offer_fluent("speedNear(v1)=true", [(1, 9)])
+            assert rejection is not None
+            assert rejection["error"] == "backpressure"
+
+        _run(scenario())
+
+
+class TestWorker:
+    def test_query_observes_everything_queued_before_it(self):
+        async def scenario():
+            managed = ManagedSession("s", _engine(), SessionConfig(window=20, step=10))
+            managed.start()
+            assert managed.offer_events([(5, "start(v1)"), (15, "stop(v1)")]) is None
+            payload = await managed.query(at=20)
+            await managed.stop()
+            return payload
+
+        payload = _run(scenario())
+        assert payload["last_query"] == 20
+        assert payload["fvps"]["f(v1)=true"] == [[6, 15]]
+
+    def test_auto_advance_follows_the_step_grid(self):
+        async def scenario():
+            managed = ManagedSession("s", _engine(), SessionConfig(window=10, step=10))
+            managed.start()
+            # The event at t=35 crosses the boundaries at 10, 20 and 30.
+            managed.offer_events([(5, "start(v1)"), (35, "stop(v1)")])
+            await managed.query()
+            status = managed.status()
+            await managed.stop()
+            return status
+
+        status = _run(scenario())
+        assert status["windows"] == 3
+        assert status["next_query"] == 40
+
+    def test_fvp_filtered_query(self):
+        async def scenario():
+            managed = ManagedSession("s", _engine(), SessionConfig(window=20, step=10))
+            managed.start()
+            managed.offer_events([(5, "start(v1)")])
+            payload = await managed.query(at=10, fvp="f(v1)=true")
+            await managed.stop()
+            return payload
+
+        payload = _run(scenario())
+        assert payload["intervals"] == [[6, 10]]
+        assert payload["fvp"] == "f(v1)=true"
+
+    def test_bad_event_is_dropped_not_fatal(self):
+        # Parsing is deferred off the accept path, so a malformed term
+        # surfaces on the worker: it must be counted and skipped, never
+        # poison the tenant.
+        async def scenario():
+            managed = ManagedSession("s", _engine(), SessionConfig(window=20, step=10))
+            managed.start()
+            managed.offer_events([(5, "not ) a term"), (6, "start(v1)")])
+            payload = await managed.query(at=10)
+            status = managed.status()
+            await managed.stop()
+            return managed, payload, status
+
+        managed, payload, status = _run(scenario())
+        assert managed.failure is None
+        assert status["invalid"] == 1
+        assert status["applied"] == 2  # the dropped item still advances the offset
+        assert payload["fvps"]["f(v1)=true"] == [[7, 10]]
+
+    def test_checkpoint_requires_directory(self):
+        async def scenario():
+            managed = ManagedSession("s", _engine(), SessionConfig(window=20))
+            managed.start()
+            try:
+                with pytest.raises(ProtocolError):
+                    await managed.checkpoint()
+            finally:
+                await managed.stop()
+
+        _run(scenario())
+
+    def test_checkpoint_and_adopt_round_trip(self, tmp_path):
+        async def first_life():
+            manager = SessionManager(checkpoint_dir=str(tmp_path))
+            managed = manager.add_session(
+                "s", _engine(), SessionConfig(window=20, step=10)
+            )
+            manager.start()
+            managed.offer_events([(5, "start(v1)"), (15, "stop(v1)")])
+            await managed.query(at=20)
+            payload = await managed.checkpoint()
+            await manager.kill()  # crash: no graceful shutdown checkpoint
+            return payload
+
+        payload = _run(first_life())
+        assert payload["windows"] >= 1
+
+        async def second_life():
+            manager = SessionManager(checkpoint_dir=str(tmp_path))
+            managed = manager.add_session(
+                "s", _engine(), SessionConfig(window=20, step=10), restore=True
+            )
+            manager.start()
+            result = await managed.query()
+            status = managed.status()
+            await manager.stop()
+            return result, status
+
+        result, status = _run(second_life())
+        assert result["fvps"]["f(v1)=true"] == [[6, 15]]
+        assert status["applied"] == 2
+        assert status["next_query"] == 30
+
+
+class TestManager:
+    def test_unknown_session_is_a_protocol_error(self):
+        manager = SessionManager()
+        with pytest.raises(ProtocolError):
+            manager.get("nope")
+
+    def test_duplicate_session_rejected(self):
+        async def scenario():
+            manager = SessionManager()
+            manager.add_session("s", _engine(), SessionConfig(window=20))
+            with pytest.raises(ValueError):
+                manager.add_session("s", _engine(), SessionConfig(window=20))
+
+        _run(scenario())
