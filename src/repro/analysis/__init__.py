@@ -33,6 +33,12 @@ _EXPORTS = {
     "PASSES": "analyzer",
     "apply_fixes": "fixers",
     "to_sarif": "sarif",
+    "SemanticFacts": "semantics",
+    "RuleFacts": "semantics",
+    "analyse_semantics": "semantics",
+    "semantic_pass": "semantics",
+    "OptimisationResult": "optimize",
+    "optimise_description": "optimize",
 }
 
 __all__ = sorted(_EXPORTS)

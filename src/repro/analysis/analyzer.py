@@ -23,6 +23,7 @@ from repro.analysis.passes import (
     partition_pass,
     structural_pass,
 )
+from repro.analysis.semantics import semantic_pass
 from repro.logic.knowledge import KnowledgeBase
 from repro.logic.parser import ParseError, clause_lines
 from repro.rtec.description import EventDescription, Vocabulary
@@ -37,6 +38,7 @@ PASSES: Tuple[Callable[[AnalysisContext], List[Diagnostic]], ...] = (
     dependency_pass,
     partition_pass,
     naming_pass,
+    semantic_pass,
 )
 
 

@@ -5,17 +5,31 @@ The naming pass attaches :class:`~repro.analysis.diagnostics.Fix` objects
 fixes into rename maps and rewrites rules accordingly. The correction step
 (:mod:`repro.generation.correction`) shares these rewriters so that lint
 fixes and correction apply identically.
+
+The semantic layer adds two structural fix kinds: ``"drop-condition"``
+(RTEC021 subsumed conditions, located by the diagnostic's rule/condition
+span) and ``"remove-rule"`` (RTEC019 contradictory rules, RTEC024 dead
+terminations, located by the rule index). :func:`apply_fixes` applies
+renames first, then drops conditions, then removes rules — each indexed
+against the *original* rule list, so spans from one lint run compose.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
 
 from repro.analysis.diagnostics import Diagnostic
 from repro.logic.parser import Literal, Rule
 from repro.logic.terms import Compound, Constant, Term
 
-__all__ = ["rewrite_term", "rewrite_rule", "rewrite_rules", "fix_maps", "apply_fixes"]
+__all__ = [
+    "rewrite_term",
+    "rewrite_rule",
+    "rewrite_rules",
+    "fix_maps",
+    "structural_fixes",
+    "apply_fixes",
+]
 
 
 def rewrite_term(
@@ -68,9 +82,61 @@ def fix_maps(diagnostics: Iterable[Diagnostic]) -> Tuple[Dict[str, str], Dict[st
     return functor_map, constant_map
 
 
+def structural_fixes(
+    diagnostics: Iterable[Diagnostic],
+) -> Tuple[Dict[int, Set[int]], Set[int]]:
+    """Collect the structural fixes of a diagnostic batch.
+
+    Returns ``(drops, removals)``: condition indices to drop per rule
+    index, and rule indices to remove outright. Diagnostics without the
+    span needed to locate their fix are skipped.
+    """
+    drops: Dict[int, Set[int]] = {}
+    removals: Set[int] = set()
+    for diagnostic in diagnostics:
+        fix = diagnostic.fix
+        if fix is None:
+            continue
+        if fix.kind == "drop-condition":
+            if diagnostic.rule_index is not None and diagnostic.condition_index is not None:
+                drops.setdefault(diagnostic.rule_index, set()).add(
+                    diagnostic.condition_index
+                )
+        elif fix.kind == "remove-rule":
+            if diagnostic.rule_index is not None:
+                removals.add(diagnostic.rule_index)
+    return drops, removals
+
+
 def apply_fixes(rules: Sequence[Rule], diagnostics: Iterable[Diagnostic]) -> List[Rule]:
-    """Apply every fixable diagnostic to a rule set, returning new rules."""
+    """Apply every fixable diagnostic to a rule set, returning new rules.
+
+    Renames apply first (they do not shift spans), then subsumed
+    conditions are dropped, then contradicted/dead rules are removed —
+    both keyed by the diagnostics' spans into the original rule list.
+    """
+    diagnostics = list(diagnostics)
     functor_map, constant_map = fix_maps(diagnostics)
-    if not functor_map and not constant_map:
-        return list(rules)
-    return rewrite_rules(rules, functor_map, constant_map)
+    drops, removals = structural_fixes(diagnostics)
+    if functor_map or constant_map:
+        fixed = rewrite_rules(rules, functor_map, constant_map)
+    else:
+        fixed = list(rules)
+    if not drops and not removals:
+        return fixed
+    result: List[Rule] = []
+    for index, rule in enumerate(fixed):
+        if index in removals:
+            continue
+        dropped = drops.get(index)
+        if dropped:
+            rule = Rule(
+                rule.head,
+                tuple(
+                    literal
+                    for cond_index, literal in enumerate(rule.body)
+                    if cond_index not in dropped
+                ),
+            )
+        result.append(rule)
+    return result

@@ -1,0 +1,681 @@
+"""Analysis-driven, semantics-preserving optimisation of event descriptions.
+
+Consumes the facts of :mod:`repro.analysis.semantics` to rewrite an
+:class:`EventDescription` into an equivalent one that the engine evaluates
+faster:
+
+* **Background constant folding** — a positive atemporal condition with
+  exactly one matching background fact is replaced by substituting that
+  fact's bindings through the whole rule (sound: the unique fact is the
+  only way the condition can succeed); with zero matching facts the rule
+  can never fire and is removed. Folding empties the hoisted atemporal
+  prefix of most compiled rules, removing a per-seed-event substitution
+  copy from the hot path.
+* **Comparison simplification** — always-true comparisons are dropped,
+  always-false ones remove the rule, subsumed/duplicate comparisons are
+  dropped (relation-set algebra + interval hulls of
+  :func:`~repro.analysis.semantics.comparison_facts`).
+* **Dead-code elimination** — terminations whose value no initiation can
+  produce, rules whose positive ``holdsAt`` references an impossible
+  value, and (given a vocabulary) rules and fluents with no derivation
+  path from the inputs.
+* **Selectivity-ranked reordering** — simple-rule bodies are reordered
+  cheapest-first (comparisons, then background lookups, then fluent
+  queries, then stream joins) subject to binding-order validity, so
+  failing substitutions die before expensive joins.
+
+All transforms preserve the recognised intervals for every execution in
+which the original description raises no ``EvaluationError``; rules the
+binding analysis flags are passed through untouched so that erroneous
+descriptions keep their original runtime behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.binding import check_rule
+from repro.analysis.semantics import (
+    STREAM_FUNCTORS,
+    comparison_facts,
+    compute_reachability,
+    producible_values,
+)
+from repro.logic.knowledge import KnowledgeBase
+from repro.logic.parser import Literal, Rule
+from repro.logic.pretty import literal_to_str, term_to_str
+from repro.logic.terms import Compound, Term, Variable, is_fvp, is_ground, term_variables
+from repro.logic.unification import Substitution
+from repro.rtec.builtins import EVALUABLE_FUNCTORS, is_comparison
+from repro.rtec.description import (
+    INTERVAL_CONSTRUCTS,
+    EventDescription,
+    FluentKey,
+    Vocabulary,
+    fluent_key,
+    head_fvp,
+)
+
+__all__ = ["OptimisationResult", "optimise_description"]
+
+_KB_FOLD_CAP = 4096
+
+
+@dataclass
+class OptimisationResult:
+    """An optimised description plus a log of every rewrite applied."""
+
+    description: EventDescription
+    #: (original rule index, reason) for each eliminated rule.
+    removed_rules: List[Tuple[int, str]] = field(default_factory=list)
+    #: (original rule index, dropped condition, reason).
+    dropped_conditions: List[Tuple[int, str, str]] = field(default_factory=list)
+    #: (original rule index, folded condition) for background folds.
+    folded_literals: List[Tuple[int, str]] = field(default_factory=list)
+    #: Original indices of rules whose bodies were reordered.
+    reordered_rules: List[int] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (
+            "%d rule(s) removed, %d condition(s) dropped, %d background "
+            "literal(s) folded, %d body(ies) reordered"
+            % (
+                len(self.removed_rules),
+                len(self.dropped_conditions),
+                len(self.folded_literals),
+                len(self.reordered_rules),
+            )
+        )
+
+
+def _rule_kind(rule: Rule) -> Optional[str]:
+    head = rule.head
+    if isinstance(head, Compound) and head.arity == 2 and head.functor in (
+        "initiatedAt",
+        "terminatedAt",
+        "holdsFor",
+    ):
+        return head.functor
+    return None
+
+
+def _is_background(literal: Literal) -> bool:
+    term = literal.term
+    return (
+        isinstance(term, Compound)
+        and term.functor not in STREAM_FUNCTORS
+        and term.functor not in INTERVAL_CONSTRUCTS
+        and term.functor not in EVALUABLE_FUNCTORS
+        and not is_comparison(term)
+    )
+
+
+def _substitute_rule(rule: Rule, subst: Substitution, drop_index: int) -> Rule:
+    body = tuple(
+        Literal(subst.resolve(literal.term), literal.negated)
+        for index, literal in enumerate(rule.body)
+        if index != drop_index
+    )
+    return Rule(subst.resolve(rule.head), body)
+
+
+def _drop_conditions(rule: Rule, indices: Set[int]) -> Rule:
+    body = tuple(
+        literal for index, literal in enumerate(rule.body) if index not in indices
+    )
+    return Rule(rule.head, body)
+
+
+def _fold_background(
+    rule: Rule, original_index: int, kb: KnowledgeBase, result: OptimisationResult
+) -> Optional[Rule]:
+    """Fold single-fact background literals; ``None`` = rule never fires."""
+    changed = True
+    while changed:
+        changed = False
+        for index, literal in enumerate(rule.body):
+            if not _is_background(literal):
+                continue
+            term = literal.term
+            if literal.negated:
+                # A negated atemporal condition over a pattern no fact can
+                # match always succeeds; over a ground term some fact
+                # matches, it always fails.
+                if not kb.holds(term):
+                    result.dropped_conditions.append(
+                        (original_index, literal_to_str(literal), "no matching background fact")
+                    )
+                    rule = _drop_conditions(rule, {index})
+                    changed = True
+                    break
+                if is_ground(term):
+                    result.removed_rules.append(
+                        (
+                            original_index,
+                            "negated background condition %s always fails"
+                            % literal_to_str(literal),
+                        )
+                    )
+                    return None
+                continue
+            solutions: List[Substitution] = []
+            for subst in kb.query(term):
+                solutions.append(subst)
+                if len(solutions) > 1:
+                    break
+            if not solutions:
+                result.removed_rules.append(
+                    (
+                        original_index,
+                        "background condition %s matches no fact" % literal_to_str(literal),
+                    )
+                )
+                return None
+            if len(solutions) == 1:
+                result.folded_literals.append((original_index, literal_to_str(literal)))
+                rule = _substitute_rule(rule, solutions[0], index)
+                changed = True
+                break
+    return rule
+
+
+def _simplify_comparisons(
+    rule: Rule, original_index: int, kb: Optional[KnowledgeBase], result: OptimisationResult
+) -> Optional[Rule]:
+    """Drop always-true/subsumed comparisons; ``None`` = rule never fires."""
+    facts = comparison_facts(rule, original_index, kb)
+    if facts.contradiction is not None:
+        first, second = facts.contradiction
+        result.removed_rules.append(
+            (
+                original_index,
+                "contradictory conditions (%s / %s)"
+                % (literal_to_str(rule.body[first]), literal_to_str(rule.body[second])),
+            )
+        )
+        return None
+    if facts.always_false:
+        index = min(facts.always_false)
+        result.removed_rules.append(
+            (
+                original_index,
+                "condition %s always evaluates false" % literal_to_str(rule.body[index]),
+            )
+        )
+        return None
+    droppable = set(facts.always_true) | set(facts.subsumed)
+    if droppable:
+        for index in sorted(droppable):
+            reason = (
+                "always true" if index in facts.always_true else "subsumed by another condition"
+            )
+            result.dropped_conditions.append(
+                (original_index, literal_to_str(rule.body[index]), reason)
+            )
+        rule = _drop_conditions(rule, droppable)
+    return rule
+
+
+# ---------------------------------------------------------------------------
+# Description-level dead-code elimination
+
+
+def _initially_keys(description: EventDescription) -> Set[FluentKey]:
+    keys: Set[FluentKey] = set()
+    for pair in description.initial_fvps:
+        try:
+            keys.add(fluent_key(pair.args[0]))
+        except ValueError:
+            continue
+    return keys
+
+
+def _defining_indices(rules: List[Optional[Rule]]) -> Dict[FluentKey, List[int]]:
+    """Indices of the rules defining each fluent key, over live rules."""
+    defining: Dict[FluentKey, List[int]] = {}
+    for index, rule in enumerate(rules):
+        if rule is None or _rule_kind(rule) is None:
+            continue
+        try:
+            key = fluent_key(head_fvp(rule)[0])
+        except ValueError:
+            continue
+        defining.setdefault(key, []).append(index)
+    return defining
+
+
+def _guarded_removals(
+    rules: List[Optional[Rule]],
+    removals: Dict[int, str],
+    protected_keys: Set[FluentKey],
+    result: OptimisationResult,
+) -> Dict[int, str]:
+    """Cancel removals that would strip every defining rule of an
+    ``initially``-declared fluent (the engine only injects ``initially``
+    values for keys that are still defined)."""
+    if not protected_keys:
+        return removals
+    defining = _defining_indices(rules)
+    final = dict(removals)
+    for key in protected_keys:
+        indices = defining.get(key, [])
+        if indices and all(index in final for index in indices):
+            for index in indices:
+                final.pop(index, None)
+            result.notes.append(
+                "kept dead rules of %s/%d: it has an initially declaration" % key
+            )
+    return final
+
+
+def _positive_ref_keys(rule: Rule) -> Iterable[Tuple[int, FluentKey, Term, bool]]:
+    """(condition index, key, value, negated) of each resolvable
+    holdsAt/holdsFor reference."""
+    for index, literal in enumerate(rule.body):
+        term = literal.term
+        if not (
+            isinstance(term, Compound)
+            and term.functor in ("holdsAt", "holdsFor")
+            and term.arity == 2
+        ):
+            continue
+        pair = term.args[0]
+        if not (isinstance(pair, Compound) and is_fvp(pair)):
+            continue
+        try:
+            key = fluent_key(pair.args[0])
+        except ValueError:
+            continue
+        yield index, key, pair.args[1], literal.negated
+
+
+def _eliminate_impossible_refs(
+    rules: List[Optional[Rule]],
+    transformable: Set[int],
+    description: EventDescription,
+    protected_keys: Set[FluentKey],
+    result: OptimisationResult,
+) -> bool:
+    """Remove simple rules whose positive holdsAt reference can never
+    succeed; drop negated references that always succeed. Returns whether
+    anything changed."""
+    producible = producible_values(description)
+    removals: Dict[int, str] = {}
+    drops: Dict[int, Set[int]] = {}
+    for index, rule in enumerate(rules):
+        if rule is None or index not in transformable:
+            continue
+        if _rule_kind(rule) not in ("initiatedAt", "terminatedAt"):
+            continue
+        for cond_index, key, value, negated in _positive_ref_keys(rule):
+            domain = producible.get(key)
+            if key not in producible or domain is None:
+                continue
+            if not is_ground(value) or value in domain:
+                continue
+            rendered = literal_to_str(rule.body[cond_index])
+            if negated:
+                drops.setdefault(index, set()).add(cond_index)
+            else:
+                removals[index] = "condition %s can never succeed" % rendered
+                break
+    removals = _guarded_removals(rules, removals, protected_keys, result)
+    changed = False
+    for index, reason in removals.items():
+        result.removed_rules.append((index, reason))
+        rules[index] = None
+        changed = True
+    for index, indices in drops.items():
+        if index in removals or rules[index] is None:
+            continue
+        for cond_index in sorted(indices):
+            result.dropped_conditions.append(
+                (
+                    index,
+                    literal_to_str(rules[index].body[cond_index]),  # type: ignore[union-attr]
+                    "negated reference to an impossible value always succeeds",
+                )
+            )
+        rules[index] = _drop_conditions(rules[index], indices)  # type: ignore[arg-type]
+        changed = True
+    return changed
+
+
+def _eliminate_dead_terminations(
+    rules: List[Optional[Rule]],
+    transformable: Set[int],
+    description: EventDescription,
+    protected_keys: Set[FluentKey],
+    result: OptimisationResult,
+) -> bool:
+    """Remove terminatedAt rules whose value no initiation produces.
+
+    Exact regardless of the runtime inputs: initiations of a simple fluent
+    come only from its initiatedAt rules and ``initially`` declarations,
+    and terminations without a matching initiation contribute nothing to
+    ``pair_intervals``.
+    """
+    initiable: Dict[FluentKey, Optional[Set[Term]]] = {}
+    for key, definition in description.simple_fluents.items():
+        values: Optional[Set[Term]] = set()
+        for rule in definition.initiated_rules:
+            value = head_fvp(rule)[1]
+            if values is None:
+                break
+            if is_ground(value):
+                values.add(value)
+            else:
+                values = None
+        initiable[key] = values
+    for pair in description.initial_fvps:
+        try:
+            key = fluent_key(pair.args[0])
+        except ValueError:
+            continue
+        values = initiable.get(key)
+        if values is not None:
+            values.add(pair.args[1])
+
+    removals: Dict[int, str] = {}
+    for index, rule in enumerate(rules):
+        if rule is None or index not in transformable:
+            continue
+        head = rule.head
+        if not (isinstance(head, Compound) and head.functor == "terminatedAt" and head.arity == 2):
+            continue
+        try:
+            fluent, value = head_fvp(rule)
+            key = fluent_key(fluent)
+        except ValueError:
+            continue
+        domain = initiable.get(key)
+        if domain is None or not is_ground(value) or value in domain:
+            continue
+        removals[index] = (
+            "termination value %s is never initiated for %s/%d"
+            % (term_to_str(value), key[0], key[1])
+        )
+    removals = _guarded_removals(rules, removals, protected_keys, result)
+    changed = False
+    for index, reason in removals.items():
+        result.removed_rules.append((index, reason))
+        rules[index] = None
+        changed = True
+    return changed
+
+
+def _eliminate_unreachable(
+    rules: List[Optional[Rule]],
+    transformable: Set[int],
+    description: EventDescription,
+    vocabulary: Vocabulary,
+    extra_input_fluents: Set[FluentKey],
+    protected_keys: Set[FluentKey],
+    result: OptimisationResult,
+) -> bool:
+    """Remove rules with no derivation path from the actual inputs."""
+    input_events = set(vocabulary.input_events)
+    trust_events = True
+    for rule in rules:
+        if rule is None or _rule_kind(rule) not in ("initiatedAt", "terminatedAt"):
+            continue
+        if not rule.body or rule.body[0].negated:
+            continue
+        seed = rule.body[0].term
+        if not (isinstance(seed, Compound) and seed.functor == "happensAt" and seed.arity == 2):
+            continue
+        try:
+            key = fluent_key(seed.args[0])
+        except ValueError:
+            continue
+        if key not in input_events:
+            # The description references undeclared events; a non-strict
+            # engine may still receive them, so distrust the vocabulary.
+            trust_events = False
+            break
+    input_fluent_keys = set(vocabulary.input_fluents) | extra_input_fluents
+    state = compute_reachability(
+        description,
+        input_events=input_events,
+        input_fluent_keys=input_fluent_keys,
+        trust_events=trust_events,
+    )
+
+    removals: Dict[int, str] = {}
+    for index, rule in enumerate(rules):
+        if rule is None or index not in transformable:
+            continue
+        kind = _rule_kind(rule)
+        if kind is None:
+            continue
+        try:
+            key = fluent_key(head_fvp(rule)[0])
+        except ValueError:
+            continue
+        key_state = state.get(key)
+        if key_state is not None and not key_state and key not in input_fluent_keys:
+            removals[index] = "fluent %s/%d is unreachable from the inputs" % key
+            continue
+        if kind in ("initiatedAt", "terminatedAt"):
+            if trust_events and rule.body and not rule.body[0].negated:
+                seed = rule.body[0].term
+                if (
+                    isinstance(seed, Compound)
+                    and seed.functor == "happensAt"
+                    and seed.arity == 2
+                ):
+                    try:
+                        seed_key = fluent_key(seed.args[0])
+                    except ValueError:
+                        seed_key = None
+                    if seed_key is not None and seed_key not in input_events:
+                        removals[index] = (
+                            "seed event %s/%d is not an input event" % seed_key
+                        )
+                        continue
+            for _cond_index, ref_key, value, negated in _positive_ref_keys(rule):
+                if negated or ref_key in input_fluent_keys:
+                    continue
+                ref_state = state.get(ref_key)
+                if ref_state is None:
+                    if ref_key not in state:
+                        removals[index] = (
+                            "references undefined fluent %s/%d" % ref_key
+                        )
+                        break
+                    continue
+                if not ref_state or (is_ground(value) and value not in ref_state):
+                    removals[index] = (
+                        "positive reference to unreachable %s/%d" % ref_key
+                    )
+                    break
+    removals = _guarded_removals(rules, removals, protected_keys, result)
+    changed = False
+    for index, reason in removals.items():
+        result.removed_rules.append((index, reason))
+        rules[index] = None
+        changed = True
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# Selectivity-ranked body reordering
+
+
+def _literal_cost(literal: Literal, bound: Set[Variable]) -> int:
+    term = literal.term
+    if is_comparison(term):
+        return 0
+    if isinstance(term, Compound) and term.functor == "holdsAt" and term.arity == 2:
+        # A fully bound holdsAt is an O(1) store lookup; with unbound
+        # pattern variables it enumerates store instances — rank it after
+        # the stream join so it does not lose its cheap-lookup shape.
+        return 3 if set(term_variables(term)) <= bound else 6
+    if isinstance(term, Compound) and term.functor == "happensAt" and term.arity == 2:
+        return 4 if literal.negated else 5
+    # background lookup
+    return 1 if literal.negated else 2
+
+
+def _required_vars(literal: Literal) -> Set[Variable]:
+    term = literal.term
+    if literal.negated or is_comparison(term):
+        return set(term_variables(term))
+    if isinstance(term, Compound) and term.functor == "holdsAt" and term.arity == 2:
+        return set(term_variables(term.args[1]))
+    return set()
+
+
+def _binds_vars(literal: Literal) -> Set[Variable]:
+    if literal.negated or is_comparison(literal.term):
+        return set()
+    return set(term_variables(literal.term))
+
+
+def _reorder_body(rule: Rule) -> Optional[Rule]:
+    """Greedy cheapest-eligible-first ordering; ``None`` = keep original.
+
+    Sound because body conditions are a pure conjunction (solution sets are
+    order-independent), initiation/termination points accumulate into sets,
+    and a negation-as-failure or comparison literal is only placed once all
+    its variables are bound by earlier positive literals — the same
+    dataflow contract the engine's left-to-right evaluation requires.
+    """
+    body = rule.body
+    if len(body) <= 2:
+        return None
+    for literal in body:
+        term = literal.term
+        if not isinstance(term, Compound):
+            return None
+        if term.functor == "holdsFor" or term.functor in INTERVAL_CONSTRUCTS:
+            return None
+    seed = body[0]
+    remaining = list(range(1, len(body)))
+    bound: Set[Variable] = set(term_variables(seed.term))
+    order: List[int] = [0]
+    while remaining:
+        eligible = [
+            index for index in remaining if _required_vars(body[index]) <= bound
+        ]
+        if not eligible:
+            return None  # cannot verify a valid reorder; keep the original
+        best = min(
+            eligible, key=lambda index: (_literal_cost(body[index], bound), index)
+        )
+        order.append(best)
+        remaining.remove(best)
+        bound |= _binds_vars(body[best])
+    if order == list(range(len(body))):
+        return None
+    return Rule(rule.head, tuple(body[index] for index in order))
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+
+
+def optimise_description(
+    description: EventDescription,
+    kb: Optional[KnowledgeBase] = None,
+    vocabulary: Optional[Vocabulary] = None,
+    extra_input_fluents: Iterable[FluentKey] = (),
+    reorder: bool = True,
+    prune_unreachable: bool = True,
+) -> OptimisationResult:
+    """Produce an equivalent, faster event description.
+
+    ``kb`` enables background folding (the optimised description is only
+    equivalent for runs against that same knowledge base); ``vocabulary``
+    enables reachability pruning under the assumption that the runtime
+    stream only carries declared input events and that injected fluents
+    are limited to the declared input fluents plus ``extra_input_fluents``
+    (pass the keys actually injected — the engine does).
+    """
+    result = OptimisationResult(description=description)
+    rules: List[Optional[Rule]] = list(description.rules)
+    protected = _initially_keys(description)
+    # Rules the binding analysis flags are passed through untouched: their
+    # runtime behaviour (raising EvaluationError) must be preserved.
+    transformable: Set[int] = set()
+    for index, rule in enumerate(rules):
+        if _rule_kind(rule) is not None and rule.body and not check_rule(rule):
+            transformable.add(index)
+
+    # Phase A: per-rule folding and comparison simplification.
+    for index, rule in enumerate(rules):
+        if rule is None or index not in transformable:
+            continue
+        if kb is not None:
+            folded = _fold_background(rule, index, kb, result)
+            if folded is None:
+                candidate_removals = _guarded_removals(
+                    rules, {index: "background fold"}, protected, result
+                )
+                if index in candidate_removals:
+                    rules[index] = None
+                    continue
+                # Protected: keep the original rule untouched.
+                result.removed_rules = [
+                    entry for entry in result.removed_rules if entry[0] != index
+                ]
+                continue
+            rule = folded
+        if _rule_kind(rule) in ("initiatedAt", "terminatedAt"):
+            simplified = _simplify_comparisons(rule, index, kb, result)
+            if simplified is None:
+                candidate_removals = _guarded_removals(
+                    rules, {index: "contradiction"}, protected, result
+                )
+                if index in candidate_removals:
+                    rules[index] = None
+                    continue
+                result.removed_rules = [
+                    entry for entry in result.removed_rules if entry[0] != index
+                ]
+                continue
+            rule = simplified
+        rules[index] = rule
+
+    # Phase B: description-level dead-code elimination to a fixpoint.
+    changed = True
+    while changed:
+        changed = False
+        live = [rule for rule in rules if rule is not None]
+        rebuilt = EventDescription(live)
+        # Map facts computed over the rebuilt description back via identity.
+        if _eliminate_impossible_refs(rules, transformable, rebuilt, protected, result):
+            changed = True
+            continue
+        if _eliminate_dead_terminations(rules, transformable, rebuilt, protected, result):
+            changed = True
+            continue
+        if vocabulary is not None and prune_unreachable:
+            if _eliminate_unreachable(
+                rules,
+                transformable,
+                rebuilt,
+                vocabulary,
+                set(extra_input_fluents),
+                protected,
+                result,
+            ):
+                changed = True
+
+    # Phase C: selectivity-ranked reordering of simple-rule bodies.
+    if reorder:
+        for index, rule in enumerate(rules):
+            if rule is None or index not in transformable:
+                continue
+            if _rule_kind(rule) not in ("initiatedAt", "terminatedAt"):
+                continue
+            reordered = _reorder_body(rule)
+            if reordered is not None:
+                rules[index] = reordered
+                result.reordered_rules.append(index)
+
+    final = EventDescription([rule for rule in rules if rule is not None])
+    result.description = final
+    return result

@@ -24,7 +24,11 @@ from typing import Dict, Optional
 
 from repro.analysis.diagnostics import CATEGORY_CODES, Severity
 
-__all__ = ["LintRule", "LINT_RULES", "rule_for"]
+__all__ = ["LintRule", "LINT_RULES", "DOCS_URI", "rule_for"]
+
+#: Base URI of the lint-rule documentation (the DESIGN.md catalogue); each
+#: rule's :attr:`LintRule.help_uri` anchors into it by lowercased code.
+DOCS_URI = "https://github.com/aartikis/RTEC/blob/master/DESIGN.md"
 
 
 @dataclass(frozen=True)
@@ -38,6 +42,11 @@ class LintRule:
     explanation: str
     paper_category: Optional[int] = None
     fixable: bool = False
+
+    @property
+    def help_uri(self) -> str:
+        """Documentation URI of this rule (SARIF ``helpUri``)."""
+        return "%s#%s" % (DOCS_URI, self.code.lower())
 
 
 def _rule(code: str, title: str, explanation: str, paper_category: Optional[int] = None,
@@ -158,6 +167,76 @@ LINT_RULES: Dict[str, LintRule] = {
             "distance of) exactly one known vocabulary name; the attached "
             "fix renames it.",
             paper_category=1,
+            fixable=True,
+        ),
+        _rule(
+            "RTEC017",
+            "argument sort clash",
+            "Sort inference (a union-find lattice over argument positions, "
+            "seeded by the constants observed in rules, background facts "
+            "and fluent values) places numeric and symbolic constants in "
+            "the same position — e.g. a numeric literal where every other "
+            "rule and fact uses an area-type atom.",
+            paper_category=2,
+        ),
+        _rule(
+            "RTEC018",
+            "impossible fluent value",
+            "A holdsAt/holdsFor condition references F=V where V is not "
+            "among the values any rule or declaration of the defined "
+            "fluent F can produce: the condition can never succeed (or, "
+            "negated, always succeeds).",
+            paper_category=2,
+        ),
+        _rule(
+            "RTEC019",
+            "contradictory conditions",
+            "Value-domain analysis proves a rule's comparison conjunction "
+            "unsatisfiable (e.g. Speed >= Min together with Speed < Min): "
+            "the rule can never fire.",
+            paper_category=2,
+            fixable=True,
+        ),
+        _rule(
+            "RTEC020",
+            "statically decided comparison",
+            "A comparison contains no variables, or compares a term with "
+            "itself, and therefore always evaluates to the same truth value "
+            "(an always-false comparison makes the rule dead; an always-true "
+            "one is a no-op).",
+            paper_category=2,
+        ),
+        _rule(
+            "RTEC021",
+            "subsumed condition",
+            "A comparison is implied by another condition of the same rule "
+            "(a duplicate, a weaker operator over the same operands, or a "
+            "wider bound on the same variable); the attached fix drops it.",
+            fixable=True,
+        ),
+        _rule(
+            "RTEC022",
+            "unreachable fluent",
+            "Reachability analysis over the dependency graph finds no "
+            "derivation path from any input event or input fluent to this "
+            "defined fluent: at run time it can never hold.",
+            paper_category=3,
+        ),
+        _rule(
+            "RTEC023",
+            "unreachable output",
+            "A declared output fluent of the recognition task has no "
+            "derivation path from any input: the task silently produces "
+            "empty detections for it.",
+            paper_category=3,
+        ),
+        _rule(
+            "RTEC024",
+            "dead termination",
+            "A terminatedAt rule targets a fluent value that no "
+            "initiatedAt rule or initially declaration can produce: the "
+            "termination points are discarded unpaired; the attached fix "
+            "removes the rule.",
             fixable=True,
         ),
     )

@@ -30,6 +30,7 @@ def to_sarif(report: LintReport, tool_version: str = "1.0.0") -> Dict[str, Any]:
             "name": rule.category,
             "shortDescription": {"text": rule.title},
             "fullDescription": {"text": rule.explanation},
+            "helpUri": rule.help_uri,
             "defaultConfiguration": {"level": _SARIF_LEVELS[rule.severity]},
         }
         for rule in sorted(LINT_RULES.values(), key=lambda r: r.code)

@@ -70,6 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="fan recognition out over entity shards with this many workers",
     )
+    recognise.add_argument(
+        "--optimise",
+        action="store_true",
+        help="run through the analysis-driven rule optimiser (equivalent "
+        "detections, usually faster); prints the applied rewrites",
+    )
 
     gen = sub.add_parser("generate", help="print one generated event description")
     gen.add_argument("--model", choices=MODEL_NAMES, default="o1")
@@ -152,6 +158,27 @@ def build_parser() -> argparse.ArgumentParser:
         default="error",
         help="exit non-zero when a diagnostic at or above this severity is "
         "reported (default: error)",
+    )
+    lint.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated diagnostic codes to report (e.g. "
+        "RTEC017,RTEC021); other diagnostics are hidden and do not "
+        "affect --fail-on",
+    )
+    lint.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply machine-applicable fixes (renames, dropped subsumed "
+        "conditions, removed dead rules); rewrites PATH in place unless "
+        "--diff is also given",
+    )
+    lint.add_argument(
+        "--diff",
+        action="store_true",
+        help="with --fix: print a unified diff of the fixes without "
+        "writing anything (required for --gold targets)",
     )
 
     validate = sub.add_parser(
@@ -317,8 +344,16 @@ def _cmd_recognise(args: argparse.Namespace) -> int:
     dataset = build_dataset(seed=args.seed, scale=args.scale, traffic=args.traffic)
     engine = RTECEngine(gold_event_description(), dataset.kb, dataset.vocabulary)
     result = engine.recognise(
-        dataset.stream, dataset.input_fluents, window=args.window, jobs=args.jobs
+        dataset.stream,
+        dataset.input_fluents,
+        window=args.window,
+        jobs=args.jobs,
+        optimise=args.optimise,
     )
+    if args.optimise:
+        optimised = engine.optimised_for(dataset.input_fluents)
+        if optimised.optimisation is not None:
+            print("%% optimiser: %s" % optimised.optimisation.summary())
     print("%-20s %9s %12s" % ("activity", "instances", "duration (s)"))
     for activity in COMPOSITE_ACTIVITIES:
         instances = list(result.instances(activity))
@@ -463,11 +498,21 @@ def _gold_lint_target(which: str):
 def _cmd_lint(args: argparse.Namespace) -> int:
     import json
 
-    from repro.analysis import Severity, analyse, analyse_text, to_sarif
+    from repro.analysis import LintReport, Severity, analyse, analyse_text, to_sarif
 
     if (args.path is None) == (args.gold is None):
         print("error: give exactly one of PATH or --gold", file=sys.stderr)
         return 2
+    if args.diff and not args.fix:
+        print("error: --diff requires --fix", file=sys.stderr)
+        return 2
+    if args.fix and args.gold is not None and not args.diff:
+        print(
+            "error: cannot rewrite a built-in gold description; use --fix --diff",
+            file=sys.stderr,
+        )
+        return 2
+    description = None
     if args.gold is not None:
         description, vocabulary, outputs, source = _gold_lint_target(args.gold)
         if args.no_vocabulary:
@@ -480,6 +525,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             source=source,
         )
     else:
+        source = args.path
         try:
             with open(args.path) as handle:
                 text = handle.read()
@@ -488,6 +534,19 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             return 2
         vocabulary = None if args.no_vocabulary else MARITIME_VOCABULARY
         report = analyse_text(text, vocabulary, source=args.path)
+        try:
+            description = EventDescription.from_text(text)
+        except ParseError:
+            description = None
+    if args.select:
+        wanted = {code.strip().upper() for code in args.select.split(",") if code.strip()}
+        report = LintReport(
+            [d for d in report.diagnostics if d.code in wanted],
+            report.source,
+            report.rule_lines,
+        )
+    if args.fix:
+        return _lint_fix(args, report, description, source)
     if args.format == "json":
         print(report.to_json())
     elif args.format == "sarif":
@@ -502,6 +561,47 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         "info": Severity.INFO,
     }[args.fail_on]
     return 1 if report.at_or_above(threshold) else 0
+
+
+def _lint_fix(args: argparse.Namespace, report, description, source: str) -> int:
+    """Apply (or, with ``--diff``, preview) the report's attached fixes.
+
+    The diff compares the *normalised* rendering of the original rules
+    against the fixed rules, so formatting differences in the source file
+    do not drown out the actual fixes.
+    """
+    import difflib
+
+    from repro.analysis.fixers import apply_fixes
+    from repro.logic.pretty import program_to_str
+
+    if description is None:
+        print("error: cannot fix a file that does not parse", file=sys.stderr)
+        return 2
+    fixable = [d for d in report.diagnostics if d.fix is not None]
+    fixed = apply_fixes(description.rules, fixable)
+    before = program_to_str(description.rules)
+    after = program_to_str(fixed)
+    if before == after:
+        print("no applicable fixes")
+        return 0
+    if args.diff:
+        sys.stdout.writelines(
+            difflib.unified_diff(
+                before.splitlines(keepends=True),
+                after.splitlines(keepends=True),
+                fromfile=source,
+                tofile="%s (fixed)" % source,
+            )
+        )
+        return 0
+    with open(args.path, "w") as handle:
+        handle.write(after)
+    print(
+        "applied %d fix(es) to %s (%d -> %d rules)"
+        % (len(fixable), args.path, len(description.rules), len(fixed))
+    )
+    return 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:

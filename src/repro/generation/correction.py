@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro import telemetry
-from repro.analysis.diagnostics import LintReport
+from repro.analysis.diagnostics import Diagnostic, LintReport
 from repro.analysis.fixers import rewrite_rule
 from repro.analysis.names import levenshtein
 from repro.analysis.passes import compute_name_fixes
@@ -63,6 +63,24 @@ class CorrectionReport:
     @property
     def total_changes(self) -> int:
         return len(self.functor_renames) + len(self.constant_renames)
+
+    @property
+    def semantic_diagnostics(self) -> List["Diagnostic"]:
+        """Abstract-interpretation findings surviving correction (RTEC017-024).
+
+        Renames fix the paper's naming errors (category 1); what the
+        semantic layer still flags afterwards — sort clashes, impossible
+        values, contradictory or subsumed conditions, unreachable fluents,
+        dead terminations — are exactly the residual semantic errors
+        Figure 2c measures, so callers can gate or report on them.
+        """
+        if self.post_lint is None:
+            return []
+        return [
+            d
+            for d in self.post_lint.diagnostics
+            if d.code is not None and "RTEC017" <= d.code <= "RTEC024"
+        ]
 
 
 def correct_event_description(
@@ -147,4 +165,5 @@ def _correct(
         span.count("constant_renames", len(report.constant_renames))
         span.count("unresolved", len(report.unresolved))
         span.count("post_lint_errors", len(report.post_lint.errors))
+        span.count("post_lint_semantic", len(report.semantic_diagnostics))
     return corrected, report

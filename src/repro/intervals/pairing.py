@@ -23,7 +23,8 @@ def pair_intervals(
     terminations: Iterable[int],
     open_end: Optional[int] = None,
     max_duration: Optional[int] = None,
-) -> Tuple[IntervalList, Optional[int]]:
+    closed_until: Optional[int] = None,
+) -> Tuple[IntervalList, Optional[int], Optional[int]]:
     """Build the maximal intervals of a simple FVP, reporting openness.
 
     Parameters
@@ -42,14 +43,26 @@ def pair_intervals(
         explicit termination arrives earlier. Intermediate initiations do
         not reset the deadline; the first initiation *after* the deadline
         starts a fresh period.
+    closed_until:
+        Initiations at or before this point are ignored: a previous window
+        already closed a period covering them, so they are intermediate
+        initiations of a final period whose anchoring initiation event has
+        since been forgotten. Without the barrier they would re-anchor a
+        phantom period with a later ``max_duration`` deadline.
 
     Returns
     -------
-    (intervals, open_start):
-        The maximal intervals under the ``(Ts, Te]`` semantics, and the
+    (intervals, open_start, deadline_close):
+        The maximal intervals under the ``(Ts, Te]`` semantics; the
         initiation point of the period that is still open at the query time
-        (``None`` when every period is closed). A closed period's endpoint
-        is fixed: forgetting its termination event later cannot re-open it.
+        (``None`` when every period is closed); and the end of the last
+        period closed by its ``max_duration`` deadline (``None`` when no
+        period was). A closed period's endpoint is fixed: forgetting its
+        termination event later cannot re-open it. Deadline closes leave no
+        termination event behind, so the caller must carry
+        ``deadline_close`` as the next window's ``closed_until`` barrier;
+        explicit closes need no barrier because re-pairing the retained
+        events reproduces the same endpoint from any anchor.
     """
     if max_duration is not None and max_duration <= 0:
         raise ValueError("max_duration must be positive")
@@ -59,8 +72,11 @@ def pair_intervals(
         # open_end is the query time: later points are not yet known.
         init_points = [p for p in init_points if p <= open_end]
         term_points = [p for p in term_points if p <= open_end]
+    if closed_until is not None:
+        init_points = [p for p in init_points if p > closed_until]
     intervals: List[Interval] = []
     open_start: Optional[int] = None
+    deadline_close: Optional[int] = None
     ti = 0
     i = 0
     n_terms = len(term_points)
@@ -80,6 +96,7 @@ def pair_intervals(
             end: Optional[int] = te  # closed by an explicit termination
         elif deadline is not None and (open_end is None or deadline <= open_end):
             end = deadline  # closed by the deadline within this window
+            deadline_close = deadline
         elif deadline is not None:
             # The deadline lies beyond the query time: visible part only,
             # and the period is still open.
@@ -98,7 +115,7 @@ def pair_intervals(
         if end is not None:
             while i < len(init_points) and init_points[i] <= end:
                 i += 1
-    return IntervalList(intervals), open_start
+    return IntervalList(intervals), open_start, deadline_close
 
 
 def make_intervals_from_points(
@@ -108,7 +125,7 @@ def make_intervals_from_points(
     max_duration: Optional[int] = None,
 ) -> IntervalList:
     """The maximal intervals of a simple FVP (see :func:`pair_intervals`)."""
-    intervals, _open_start = pair_intervals(
+    intervals, _open_start, _deadline_close = pair_intervals(
         initiations, terminations, open_end=open_end, max_duration=max_duration
     )
     return intervals

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.logic.parser import Literal, Rule
 from repro.logic.terms import (
@@ -42,6 +42,9 @@ from repro.logic.terms import (
 from repro.rtec.builtins import is_comparison
 from repro.rtec.errors import EvaluationError
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.rtec.description import EventDescription
+
 __all__ = [
     "HAPPENS",
     "HOLDS",
@@ -50,6 +53,7 @@ __all__ = [
     "CompiledLiteral",
     "CompiledRule",
     "compile_rule",
+    "precompile_description",
 ]
 
 HAPPENS, HOLDS, COMPARE, BACKGROUND = range(4)
@@ -211,3 +215,23 @@ def compile_rule(rule: Rule) -> CompiledRule:
         hoisted=tuple(hoisted),
         body=tuple(body),
     )
+
+
+def precompile_description(description: "EventDescription") -> int:
+    """Warm the :func:`compile_rule` cache for every simple-fluent rule.
+
+    The optimised engine calls this once at construction so that the first
+    recognition window pays no compile cost. Rules the compiler rejects
+    (malformed shapes that raise :class:`EvaluationError` lazily at run
+    time) are skipped — their runtime behaviour is unchanged. Returns the
+    number of plans compiled.
+    """
+    compiled = 0
+    for definition in description.simple_fluents.values():
+        for rule in definition.initiated_rules + definition.terminated_rules:
+            try:
+                compile_rule(rule)
+            except EvaluationError:
+                continue
+            compiled += 1
+    return compiled

@@ -17,7 +17,7 @@ synthetic initiation at the window-start time-point.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro import telemetry
 from repro.logic.knowledge import KnowledgeBase
@@ -74,6 +74,11 @@ class RTECEngine:
             if report.has_errors:
                 raise InvalidEventDescriptionError(report.errors)
         self._order = description.topological_order()
+        #: Optimised clone engines keyed by the set of injected fluent keys
+        #: (reachability pruning depends on which inputs a call provides).
+        self._optimised: Dict[frozenset, "RTECEngine"] = {}
+        #: The OptimisationResult this engine was built from, if any.
+        self.optimisation = None
 
     @staticmethod
     def _bounds(
@@ -94,6 +99,47 @@ class RTECEngine:
                     start = first
         return start, end
 
+    def optimised_for(
+        self, input_fluents: Optional[InputFluents] = None
+    ) -> "RTECEngine":
+        """An equivalent engine running the optimised description.
+
+        Clones are cached per set of injected fluent keys: the optimiser's
+        reachability pruning treats exactly those keys (plus the declared
+        input fluents) as externally injectable.
+        """
+        keys = set()
+        if input_fluents is not None:
+            for pair, _intervals in input_fluents.items():
+                if isinstance(pair, Compound) and pair.args:
+                    try:
+                        keys.add(fluent_key(pair.args[0]))
+                    except ValueError:
+                        continue
+        cache_key = frozenset(keys)
+        cached = self._optimised.get(cache_key)
+        if cached is None:
+            from repro.analysis.optimize import optimise_description
+            from repro.rtec.compile import precompile_description
+
+            optimisation = optimise_description(
+                self.description,
+                kb=self.kb,
+                vocabulary=self.vocabulary,
+                extra_input_fluents=cache_key,
+            )
+            cached = RTECEngine(
+                optimisation.description,
+                self.kb,
+                self.vocabulary,
+                strict=False,
+                skip_errors=self.skip_errors,
+            )
+            cached.optimisation = optimisation
+            precompile_description(optimisation.description)
+            self._optimised[cache_key] = cached
+        return cached
+
     def recognise(
         self,
         stream: EventStream,
@@ -103,6 +149,7 @@ class RTECEngine:
         jobs: Optional[int] = None,
         bounds: "Optional[tuple[int, int]]" = None,
         extend_first_window: Optional[bool] = None,
+        optimise: bool = False,
     ) -> RecognitionResult:
         """Detect all composite activities over ``stream``.
 
@@ -119,7 +166,22 @@ class RTECEngine:
         span and the initially/1 first-window extension; the sharded
         executor passes the *global* values so every shard runs the exact
         window schedule of the sequential engine.
+
+        ``optimise=True`` runs the call through a cached clone built from
+        :func:`repro.analysis.optimize.optimise_description` — equivalent
+        detections (see the equivalence property tests), usually faster.
         """
+        if optimise:
+            engine = self.optimised_for(input_fluents)
+            return engine.recognise(
+                stream,
+                input_fluents,
+                window=window,
+                step=step,
+                jobs=jobs,
+                bounds=bounds,
+                extend_first_window=extend_first_window,
+            )
         if jobs is not None and jobs != 1:
             from repro.rtec.parallel import recognise_sharded
 
@@ -153,8 +215,12 @@ class RTECEngine:
         if step <= 0:
             raise ValueError("step must be positive")
         #: Open initiations carried between windows: inertia survives the
-        #: forgetting of the events that produced it.
+        #: forgetting of the events that produced it. Deadline barriers ride
+        #: along: a period closed by maxDuration leaves no termination event,
+        #: so the close point itself is carried to stop the next window from
+        #: re-anchoring on the period's intermediate initiations.
         pending: Dict[Term, int] = {}
+        barriers: Dict[Term, int] = {}
         query_time = min(start - 1 + step, end)
         previous_query: Optional[int] = None
         first = True
@@ -164,13 +230,14 @@ class RTECEngine:
                 # initially/1 declarations are evaluated from the time
                 # origin: the first window is extended to cover it.
                 window_start = min(window_start, -1)
-            pending = self._process_window(
+            pending, barriers = self._process_window(
                 stream,
                 input_fluents,
                 window_start,
                 query_time,
                 result,
                 pending=pending,
+                barriers=barriers,
                 # initially/1 declarations hold from the start of time; the
                 # first window injects them, and they then persist as
                 # pending open initiations like any other period.
@@ -196,10 +263,11 @@ class RTECEngine:
         window_end: int,
         result: RecognitionResult,
         pending: Dict[Term, int],
+        barriers: Optional[Dict[Term, int]] = None,
         include_initially: bool = False,
         merge_from: Optional[int] = None,
-    ) -> Dict[Term, int]:
-        """Evaluate one window; returns the open initiations to carry forward.
+    ) -> Tuple[Dict[Term, int], Dict[Term, int]]:
+        """Evaluate one window; returns the state to carry forward.
 
         ``pending`` maps ground simple FVPs whose period was open at the
         previous query time to that period's initiation point. Carrying the
@@ -207,9 +275,20 @@ class RTECEngine:
         across window boundaries; closed periods are never carried, so a
         forgotten termination cannot re-open them.
 
+        ``barriers`` maps ground simple FVPs to the close point of their
+        last period closed by a ``maxDuration/2`` deadline. A deadline
+        close, unlike an explicit termination, leaves no event behind:
+        once the anchoring initiation is forgotten, an overlapping window
+        would mistake the closed period's intermediate initiations for
+        fresh anchors with later deadlines. Initiations at or before the
+        barrier are ignored instead; the suppressed detections are final.
+
         ``merge_from`` is the previous query time: the detections at points
         up to and including it are final, so this window only contributes
         points in ``(merge_from, window_end]`` to the amalgamated result.
+
+        Returns ``(open initiations, deadline barriers)`` for the next
+        window.
         """
         with telemetry.span(
             "rtec.window",
@@ -229,9 +308,18 @@ class RTECEngine:
                     store.set(pair, clipped)
             on_error = self.runtime_warnings.append if self.skip_errors else None
             next_pending: Dict[Term, int] = {}
+            next_barriers: Dict[Term, int] = {}
             for key in self._order:
                 if key in self.description.simple_fluents:
                     carried: Dict[Term, int] = {}
+                    carried_barriers: Optional[Dict[Term, int]] = None
+                    if barriers:
+                        carried_barriers = {
+                            pair: barrier
+                            for pair, barrier in barriers.items()
+                            if isinstance(pair, Compound)
+                            and fluent_key(pair.args[0]) == key
+                        }
                     if include_initially:
                         for pair in self.description.initial_fvps:
                             assert isinstance(pair, Compound)
@@ -243,7 +331,7 @@ class RTECEngine:
                         assert isinstance(pair, Compound)
                         if fluent_key(pair.args[0]) == key:
                             carried[pair] = started
-                    computed, opened = evaluate_simple_fluent(
+                    computed, opened, closed = evaluate_simple_fluent(
                         self.description.simple_fluents[key],
                         stream,
                         self.kb,
@@ -255,8 +343,10 @@ class RTECEngine:
                         max_duration_for=self.description.max_duration_for
                         if self.description.max_durations
                         else None,
+                        carried_barriers=carried_barriers,
                     )
                     next_pending.update(opened)
+                    next_barriers.update(closed)
                     # A carried initiation may reach back before this window;
                     # points before it were already reported by earlier windows.
                     # Clip so that every fluent in this window's store covers the
@@ -286,4 +376,5 @@ class RTECEngine:
                 result.merge(pair, intervals)
             sp.count("stored_fvps", stored_fvps)
             sp.count("carried_open", len(next_pending))
-            return next_pending
+            sp.count("carried_barriers", len(next_barriers))
+            return next_pending, next_barriers

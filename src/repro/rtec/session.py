@@ -52,6 +52,10 @@ class SessionSnapshot:
     buffer: List[Event] = field(default_factory=list)
     fluent_intervals: Dict[Term, IntervalList] = field(default_factory=dict)
     pending: Dict[Term, int] = field(default_factory=dict)
+    #: Deadline barriers: close points of periods ended by ``maxDuration/2``
+    #: whose anchoring initiation may already be forgotten (see
+    #: :meth:`repro.rtec.engine.RTECEngine._process_window`).
+    barriers: Dict[Term, int] = field(default_factory=dict)
     result: RecognitionResult = field(default_factory=RecognitionResult)
     last_query: Optional[int] = None
     first_advance: bool = True
@@ -88,6 +92,7 @@ class RTECSession:
         #: by omega, like the event buffer.
         self._fluent_intervals: Dict[Term, IntervalList] = {}
         self._pending: Dict[Term, int] = {}
+        self._barriers: Dict[Term, int] = {}
         self._result = RecognitionResult()
         self._last_query: Optional[int] = None
         self._first_advance = True
@@ -169,23 +174,24 @@ class RTECSession:
             for pair, intervals in self._fluent_intervals.items():
                 input_fluents.set(pair, intervals)
             buffered_before = len(self._buffer)
-            next_pending: Optional[Dict[Term, int]] = None
+            carried: Optional[Tuple[Dict[Term, int], Dict[Term, int]]] = None
             if self.jobs is not None and self.jobs != 1:
-                next_pending = self._advance_sharded(
+                carried = self._advance_sharded(
                     stream, input_fluents, window_start, query_time
                 )
-            if next_pending is None:
-                next_pending = self.engine._process_window(
+            if carried is None:
+                carried = self.engine._process_window(
                     stream,
                     input_fluents,
                     window_start,
                     query_time,
                     self._result,
                     pending=self._pending,
+                    barriers=self._barriers,
                     include_initially=self._first_advance,
                     merge_from=self._last_query,
                 )
-            self._pending = next_pending
+            self._pending, self._barriers = carried
             self._first_advance = False
             self._last_query = query_time
             # Forget: drop events and input-fluent points that no future
@@ -213,7 +219,7 @@ class RTECSession:
         input_fluents: InputFluents,
         window_start: int,
         query_time: int,
-    ) -> Optional[Dict[Term, int]]:
+    ) -> Optional[Tuple[Dict[Term, int], Dict[Term, int]]]:
         """Evaluate one window over entity shards; ``None`` falls back to
         the sequential path (non-shardable description, or nothing to fan
         out)."""
@@ -231,10 +237,12 @@ class RTECSession:
         initials = (
             self.engine.description.initial_fvps if self._first_advance else []
         )
-        # Entities of carried open initiations must keep their component
-        # alive even when they produced no event this window.
+        # Entities of carried open initiations and deadline barriers must
+        # keep their component alive even when they produced no event this
+        # window.
         carried_entities = [
-            analysis.fvp_entities(pair) for pair in self._pending
+            analysis.fvp_entities(pair)
+            for pair in list(self._pending) + list(self._barriers)
         ]
         shards, global_events, global_fluents, global_initials = partition_input(
             stream,
@@ -257,12 +265,22 @@ class RTECSession:
                 shard_pending[entity_shard[entities[0]]][pair] = started
             else:
                 global_pending[pair] = started
+        shard_barriers: List[Dict[Term, int]] = [dict() for _ in shards]
+        global_barriers: Dict[Term, int] = {}
+        for pair, barrier in self._barriers.items():
+            entities = analysis.fvp_entities(pair)
+            if entities:
+                shard_barriers[entity_shard[entities[0]]][pair] = barrier
+            else:
+                global_barriers[pair] = barrier
 
         include_initially = self._first_advance
         merge_from = self._last_query
         base_engine = self.engine
 
-        def run_shard(index: int) -> Tuple[RecognitionResult, Dict[Term, int], List[str]]:
+        def run_shard(
+            index: int,
+        ) -> Tuple[RecognitionResult, Dict[Term, int], Dict[Term, int], List[str]]:
             shard = shards[index]
             shard_engine = base_engine
             if initials or global_initials:
@@ -277,35 +295,40 @@ class RTECSession:
                 )
             pending = dict(shard_pending[index])
             pending.update(global_pending)
+            barriers = dict(shard_barriers[index])
+            barriers.update(global_barriers)
             result = RecognitionResult()
             sub_fluents = dict(shard.fluents)
             sub_fluents.update(global_fluents)
-            opened = shard_engine._process_window(
+            opened, closed = shard_engine._process_window(
                 EventStream(shard.events + global_events),
                 InputFluents(sub_fluents),
                 window_start,
                 query_time,
                 result,
                 pending=pending,
+                barriers=barriers,
                 include_initially=include_initially,
                 merge_from=merge_from,
             )
             shard_warnings = (
                 shard_engine.runtime_warnings if shard_engine is not base_engine else []
             )
-            return result, opened, shard_warnings
+            return result, opened, closed, shard_warnings
 
         from repro.rtec.parallel import shard_pool
 
         workers = min(self.jobs or 1, len(shards))
         outcomes = list(shard_pool(workers).map(run_shard, range(len(shards))))
         next_pending: Dict[Term, int] = {}
-        for result, opened, shard_warnings in outcomes:
+        next_barriers: Dict[Term, int] = {}
+        for result, opened, closed, shard_warnings in outcomes:
             for pair, intervals in result.items():
                 self._result.merge(pair, intervals)
             next_pending.update(opened)
+            next_barriers.update(closed)
             self.engine.runtime_warnings.extend(shard_warnings)
-        return next_pending
+        return next_pending, next_barriers
 
     # -- checkpointing -----------------------------------------------------------
 
@@ -323,6 +346,7 @@ class RTECSession:
             buffer=list(self._buffer),
             fluent_intervals=dict(self._fluent_intervals),
             pending=dict(self._pending),
+            barriers=dict(self._barriers),
             result=RecognitionResult(dict(self._result.items())),
             last_query=self._last_query,
             first_advance=self._first_advance,
@@ -344,6 +368,7 @@ class RTECSession:
         self._buffer = list(snapshot.buffer)
         self._fluent_intervals = dict(snapshot.fluent_intervals)
         self._pending = dict(snapshot.pending)
+        self._barriers = dict(snapshot.barriers)
         self._result = RecognitionResult(dict(snapshot.result.items()))
         self._last_query = snapshot.last_query
         self._first_advance = snapshot.first_advance

@@ -20,7 +20,7 @@ build whenever the seed pattern allows it.
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from typing import Dict, Iterator, List, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro import telemetry
 from repro.intervals import IntervalList
@@ -63,15 +63,24 @@ def evaluate_simple_fluent(
     carried_initiations: Dict[Term, int],
     on_error=None,
     max_duration_for=None,
-) -> Tuple[Dict[Term, IntervalList], Dict[Term, int]]:
+    carried_barriers: Optional[Dict[Term, int]] = None,
+) -> Tuple[Dict[Term, IntervalList], Dict[Term, int], Dict[Term, int]]:
     """Compute the maximal intervals of every ground FVP of one simple fluent.
 
-    Returns ``(intervals per FVP, open initiations per FVP)``. The second
-    mapping holds, for every FVP whose last period is still open at the
-    window end, the initiation point of that period — the engine carries it
-    into the next window, implementing inertia after older events have been
-    forgotten (``carried_initiations`` is exactly the previous window's
-    mapping). ``on_error``, when given, receives the message of any
+    Returns ``(intervals per FVP, open initiations per FVP, deadline
+    barriers per FVP)``. The second mapping holds, for every FVP whose last
+    period is still open at the window end, the initiation point of that
+    period — the engine carries it into the next window, implementing
+    inertia after older events have been forgotten (``carried_initiations``
+    is exactly the previous window's mapping). The third mapping holds, for
+    every FVP with a period closed by its ``maxDuration/2`` deadline, the
+    close point: unlike an explicit termination, a deadline close leaves no
+    event in the stream, so once its anchoring initiation is forgotten the
+    next window would mistake the period's intermediate initiations for
+    fresh anchors with later deadlines. Carrying the close point as a
+    barrier (``carried_barriers``) makes the next window ignore initiations
+    at or before it; the suppressed periods' detections are final already.
+    ``on_error``, when given, receives the message of any
     :class:`EvaluationError` instead of the error propagating — the rule
     that failed is skipped (tolerant execution of imperfect generated
     rules).
@@ -144,19 +153,33 @@ def evaluate_simple_fluent(
 
         result: Dict[Term, IntervalList] = {}
         open_initiations: Dict[Term, int] = {}
+        barriers: Dict[Term, int] = carried_barriers or {}
+        next_barriers: Dict[Term, int] = {}
         groundings = set(initiations) | set(terminations)
         for pair in groundings:
             deadline = max_duration_for(pair) if max_duration_for is not None else None
-            intervals, open_start = pair_intervals(
+            intervals, open_start, deadline_close = pair_intervals(
                 initiations.get(pair, ()),
                 terminations.get(pair, ()),
                 open_end=window_end,
                 max_duration=deadline,
+                closed_until=barriers.get(pair),
             )
             if intervals:
                 result[pair] = intervals
             if open_start is not None:
                 open_initiations[pair] = open_start
+            barrier = barriers.get(pair)
+            if deadline_close is not None and (barrier is None or deadline_close > barrier):
+                barrier = deadline_close
+            if barrier is not None and barrier > window_start:
+                next_barriers[pair] = barrier
+        # A barrier of an FVP with no activity this window still guards
+        # initiations a later overlapping window may retain; it expires
+        # once the window start overtakes it.
+        for pair, barrier in barriers.items():
+            if pair not in groundings and barrier > window_start:
+                next_barriers[pair] = barrier
         if sp.enabled:
             sp.count("groundings", len(groundings))
             sp.count("pairings", len(result))
@@ -167,7 +190,8 @@ def evaluate_simple_fluent(
             sp.count(
                 "termination_points", sum(len(points) for points in terminations.values())
             )
-        return result, open_initiations
+            sp.count("deadline_barriers", len(next_barriers))
+        return result, open_initiations, next_barriers
 
 
 def _apply_universal_terminations(

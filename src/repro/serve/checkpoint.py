@@ -99,6 +99,12 @@ def snapshot_to_dict(snapshot: SessionSnapshot) -> Dict[str, object]:
                 snapshot.pending.items(), key=lambda kv: term_to_str(kv[0])
             )
         },
+        "barriers": {
+            term_to_str(pair): barrier
+            for pair, barrier in sorted(
+                snapshot.barriers.items(), key=lambda kv: term_to_str(kv[0])
+            )
+        },
         "result": snapshot.result.to_dict(),
         "last_query": snapshot.last_query,
         "first_advance": snapshot.first_advance,
@@ -118,12 +124,19 @@ def snapshot_from_dict(data: Dict[str, object]) -> SessionSnapshot:
         parse_term(text): int(started)
         for text, started in dict(data.get("pending", {})).items()  # type: ignore[arg-type]
     }
+    # "barriers" is absent in checkpoints written before deadline barriers
+    # existed; such sessions simply restore without them.
+    barriers = {
+        parse_term(text): int(barrier)
+        for text, barrier in dict(data.get("barriers", {})).items()  # type: ignore[arg-type]
+    }
     last_query = data.get("last_query")
     return SessionSnapshot(
         window=int(data["window"]),  # type: ignore[arg-type]
         buffer=buffer,
         fluent_intervals=fluent_intervals,
         pending=pending,
+        barriers=barriers,
         result=RecognitionResult.from_dict(data.get("result", {})),  # type: ignore[arg-type]
         last_query=None if last_query is None else int(last_query),  # type: ignore[arg-type]
         first_advance=bool(data.get("first_advance", False)),

@@ -1,0 +1,104 @@
+"""Structural auto-fixes: dropped conditions and removed rules.
+
+The rename fixers are covered by the correction tests; these exercise the
+semantic layer's machine-applicable fixes end to end — from a lint report
+over a corrupted description to the repaired rule list.
+"""
+
+from repro.analysis import analyse_text
+from repro.analysis.diagnostics import Diagnostic, Fix
+from repro.analysis.fixers import apply_fixes, structural_fixes
+from repro.logic.parser import parse_rule
+from repro.maritime import MARITIME_VOCABULARY, gold_event_description
+from repro.rtec import EventDescription
+
+
+class TestStructuralFixes:
+    def test_collects_spans_by_kind(self):
+        diagnostics = [
+            Diagnostic(
+                category="subsumed-condition",
+                message="m",
+                rule_index=3,
+                condition_index=2,
+                fix=Fix("drop-condition", "X>=Y", ""),
+            ),
+            Diagnostic(
+                category="dead-termination",
+                message="m",
+                rule_index=5,
+                fix=Fix("remove-rule", "terminatedAt(...)", ""),
+            ),
+            # No span: skipped rather than crashing.
+            Diagnostic(
+                category="subsumed-condition",
+                message="m",
+                fix=Fix("drop-condition", "X>=Y", ""),
+            ),
+        ]
+        drops, removals = structural_fixes(diagnostics)
+        assert drops == {3: {2}}
+        assert removals == {5}
+
+    def test_apply_drops_conditions_in_place(self):
+        rule = parse_rule(
+            "initiatedAt(f(V)=true, T) :- happensAt(e(V, X), T), X>3, X>5."
+        )
+        diagnostic = Diagnostic(
+            category="subsumed-condition",
+            message="m",
+            rule_index=0,
+            condition_index=1,
+            fix=Fix("drop-condition", "X>3", ""),
+        )
+        (fixed,) = apply_fixes([rule], [diagnostic])
+        assert len(fixed.body) == 2
+        assert "X>3" not in repr(fixed.body)
+
+    def test_apply_removes_rules(self):
+        rules = [
+            parse_rule("initiatedAt(f(V)=true, T) :- happensAt(e(V), T)."),
+            parse_rule("terminatedAt(f(V)=phantom, T) :- happensAt(e(V), T)."),
+        ]
+        diagnostic = Diagnostic(
+            category="dead-termination",
+            message="m",
+            rule_index=1,
+            fix=Fix("remove-rule", "terminatedAt(f(V)=phantom, T)", ""),
+        )
+        fixed = apply_fixes(rules, [diagnostic])
+        assert len(fixed) == 1
+        assert "initiatedAt" in repr(fixed[0].head)
+
+
+class TestLintRoundTrip:
+    def test_fixing_a_subsumed_condition_makes_the_report_clean(self):
+        text = gold_event_description().to_text().replace(
+            "    Speed>=MovingMin,",
+            "    Speed>=MovingMin,\n    Speed>MovingMin,",
+            1,
+        )
+        report = analyse_text(text, MARITIME_VOCABULARY)
+        assert report.by_code("RTEC021")
+        rules = EventDescription.from_text(text).rules
+        fixed = apply_fixes(rules, report.diagnostics)
+        from repro.logic.pretty import program_to_str
+
+        after = analyse_text(program_to_str(fixed), MARITIME_VOCABULARY)
+        assert not after.by_code("RTEC021")
+        assert after.errors == []
+
+    def test_fixing_a_dead_termination_removes_the_rule(self):
+        text = gold_event_description().to_text() + (
+            "\nterminatedAt(movingSpeed(Vessel)=warp, T) :-\n"
+            "    happensAt(gap_start(Vessel), T).\n"
+        )
+        report = analyse_text(text, MARITIME_VOCABULARY)
+        assert report.by_code("RTEC024")
+        rules = EventDescription.from_text(text).rules
+        fixed = apply_fixes(rules, report.diagnostics)
+        assert len(fixed) == len(rules) - 1
+        from repro.logic.pretty import program_to_str
+
+        after = analyse_text(program_to_str(fixed), MARITIME_VOCABULARY)
+        assert not after.by_code("RTEC024")

@@ -1,0 +1,308 @@
+"""The analysis-driven rule optimiser preserves recognition semantics.
+
+``recognise(optimise=True)`` must produce byte-identical detections to the
+plain engine — on the gold workloads, under sharding, under overlapping
+windows, on randomized streams (hypothesis), and on corrupted descriptions
+where the optimiser actually fires its rewrites (mutations and the
+simulated-LLM profiles).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.optimize import optimise_description
+from repro.fleet import FLEET_VOCABULARY, build_fleet_dataset, fleet_gold_event_description
+from repro.intervals import IntervalList
+from repro.logic.parser import parse_term
+from repro.maritime import (
+    MARITIME_VOCABULARY,
+    build_dataset,
+    gold_event_description,
+)
+from repro.rtec import (
+    Event,
+    EventDescription,
+    EventStream,
+    InputFluents,
+    RTECEngine,
+)
+
+
+def _maritime():
+    dataset = build_dataset(seed=0, scale=0.1, traffic=2)
+    engine = RTECEngine(gold_event_description(), dataset.kb, dataset.vocabulary)
+    return dataset, engine
+
+
+class TestGoldEquivalence:
+    def test_maritime_windowed_byte_identical(self):
+        dataset, engine = _maritime()
+        plain = engine.recognise(dataset.stream, dataset.input_fluents, window=600)
+        fast = engine.recognise(
+            dataset.stream, dataset.input_fluents, window=600, optimise=True
+        )
+        assert fast.to_json() == plain.to_json()
+
+    def test_maritime_optimiser_applied_rewrites(self):
+        dataset, engine = _maritime()
+        engine.recognise(
+            dataset.stream, dataset.input_fluents, window=600, optimise=True
+        )
+        optimised = engine.optimised_for(dataset.input_fluents)
+        assert optimised.optimisation is not None
+        # The gold description folds its thresholds/2 lookups at least.
+        assert optimised.optimisation.folded_literals
+
+    def test_maritime_single_window(self):
+        dataset, engine = _maritime()
+        plain = engine.recognise(dataset.stream, dataset.input_fluents)
+        fast = engine.recognise(dataset.stream, dataset.input_fluents, optimise=True)
+        assert fast.to_json() == plain.to_json()
+
+    def test_maritime_overlapping_windows(self):
+        dataset, engine = _maritime()
+        plain = engine.recognise(
+            dataset.stream, dataset.input_fluents, window=1200, step=600
+        )
+        fast = engine.recognise(
+            dataset.stream, dataset.input_fluents, window=1200, step=600,
+            optimise=True,
+        )
+        assert fast.to_json() == plain.to_json()
+
+    def test_maritime_sharded(self):
+        dataset, engine = _maritime()
+        plain = engine.recognise(
+            dataset.stream, dataset.input_fluents, window=600, jobs=2
+        )
+        fast = engine.recognise(
+            dataset.stream, dataset.input_fluents, window=600, jobs=2,
+            optimise=True,
+        )
+        assert fast.to_json() == plain.to_json()
+
+    def test_fleet_byte_identical(self):
+        dataset = build_fleet_dataset()
+        engine = RTECEngine(
+            fleet_gold_event_description(), dataset.kb, dataset.vocabulary
+        )
+        plain = engine.recognise(dataset.stream, dataset.input_fluents, window=900)
+        fast = engine.recognise(
+            dataset.stream, dataset.input_fluents, window=900, optimise=True
+        )
+        assert fast.to_json() == plain.to_json()
+
+    def test_optimised_engine_is_cached_per_injection_set(self):
+        dataset, engine = _maritime()
+        first = engine.optimised_for(dataset.input_fluents)
+        second = engine.optimised_for(dataset.input_fluents)
+        assert first is second
+        assert engine.optimised_for(None) is not first
+
+
+class TestRewrites:
+    def _optimise_mutation(self, needle, replacement):
+        text = gold_event_description().to_text()
+        assert needle in text
+        mutated = EventDescription.from_text(text.replace(needle, replacement, 1))
+        return optimise_description(mutated, vocabulary=MARITIME_VOCABULARY), mutated
+
+    def test_contradictory_rule_removed(self):
+        result, mutated = self._optimise_mutation(
+            "    Speed>=MovingMin,",
+            "    Speed>=MovingMin,\n    Speed<MovingMin,",
+        )
+        assert result.removed_rules
+        assert len(result.description.rules) < len(mutated.rules)
+
+    def test_subsumed_condition_dropped(self):
+        result, _ = self._optimise_mutation(
+            "    Speed>=MovingMin,",
+            "    Speed>=MovingMin,\n    Speed>MovingMin,",
+        )
+        assert any("subsumed" in reason for _, _c, reason in result.dropped_conditions)
+
+    def test_dead_termination_removed(self):
+        text = gold_event_description().to_text() + (
+            "\nterminatedAt(movingSpeed(Vessel)=warp, T) :-\n"
+            "    happensAt(gap_start(Vessel), T).\n"
+        )
+        description = EventDescription.from_text(text)
+        result = optimise_description(description, vocabulary=MARITIME_VOCABULARY)
+        assert any("termination" in reason for _, reason in result.removed_rules)
+
+    def test_thresholds_folded_against_kb(self):
+        dataset = build_dataset(seed=0, scale=0.1)
+        result = optimise_description(
+            gold_event_description(), kb=dataset.kb, vocabulary=MARITIME_VOCABULARY
+        )
+        assert result.folded_literals
+        folded_text = result.description.to_text()
+        assert "thresholds(" not in folded_text
+
+    def test_initially_keys_are_protected(self):
+        # Removing every defining rule of an initially-declared fluent would
+        # silence its first-window injection; the optimiser must keep one.
+        rules = """
+        initiatedAt(f(V)=true, T) :-
+            happensAt(e(V), T),
+            1>2.
+        initially(f(v1)=true).
+        """
+        description = EventDescription.from_text(rules)
+        result = optimise_description(description)
+        heads = [str(rule.head) for rule in result.description.rules]
+        assert any("initiatedAt" in head for head in heads)
+        # With another defining rule keeping the fluent alive, the dead
+        # initiation is removable.
+        with_termination = EventDescription.from_text(
+            rules + "terminatedAt(f(V)=true, T) :- happensAt(e(V), T).\n"
+        )
+        result = optimise_description(with_termination)
+        heads = [str(rule.head) for rule in result.description.rules]
+        assert not any("initiatedAt" in head for head in heads)
+
+
+RULES = """
+initiatedAt(moving(V)=true, T) :- happensAt(start(V), T).
+terminatedAt(moving(V)=true, T) :- happensAt(stop(V), T).
+
+initiatedAt(escort(V1, V2)=true, T) :-
+    happensAt(start(V1), T),
+    holdsAt(proximity(V1, V2)=true, T).
+terminatedAt(escort(V1, V2)=true, T) :-
+    happensAt(split(V1, V2), T).
+
+maxDuration(moving(V)=true, 15).
+initially(moving(v1)=true).
+"""
+
+#: Seeded corruptions the optimiser can rewrite, each paired with the gold
+#: toy description above; equivalence must hold for every one of them.
+MUTATIONS = (
+    RULES,
+    # subsumed/contradictory comparisons on a fresh initiation
+    RULES + """
+initiatedAt(fast(V)=true, T) :-
+    happensAt(speed(V, S), T),
+    S > 10,
+    S >= 10.
+terminatedAt(fast(V)=true, T) :-
+    happensAt(stop(V), T).
+""",
+    RULES + """
+initiatedAt(fast(V)=true, T) :-
+    happensAt(speed(V, S), T),
+    S > 10,
+    S < 5.
+terminatedAt(fast(V)=true, T) :-
+    happensAt(stop(V), T).
+""",
+    # dead termination: wrong never-initiated value
+    RULES + """
+terminatedAt(moving(V)=phantom, T) :- happensAt(stop(V), T).
+""",
+    # statically decided comparisons
+    RULES + """
+initiatedAt(fast(V)=true, T) :-
+    happensAt(speed(V, S), T),
+    1 < 2,
+    S > 10.
+terminatedAt(fast(V)=true, T) :-
+    happensAt(stop(V), T).
+""",
+)
+
+VESSELS = ("v1", "v2", "v3", "v4")
+PAIRS = (("v1", "v2"), ("v2", "v3"), ("v3", "v4"), ("v1", "v4"))
+
+
+def _build_input(raw_events, raw_proximity):
+    events = []
+    for time, kind, index in raw_events:
+        if kind == "split":
+            left, right = PAIRS[index % len(PAIRS)]
+            term = parse_term("split(%s, %s)" % (left, right))
+        elif kind == "speed":
+            term = parse_term(
+                "speed(%s, %d)" % (VESSELS[index % len(VESSELS)], (index * 7) % 20)
+            )
+        else:
+            term = parse_term("%s(%s)" % (kind, VESSELS[index % len(VESSELS)]))
+        events.append(Event(time, term))
+    merged = {}
+    for index, start, length in raw_proximity:
+        left, right = PAIRS[index % len(PAIRS)]
+        pair = parse_term("proximity(%s, %s)=true" % (left, right))
+        merged.setdefault(pair, []).append((start, start + length))
+    fluents = InputFluents(
+        {pair: IntervalList(spans) for pair, spans in merged.items()}
+    )
+    return EventStream(events), fluents
+
+
+_events = st.lists(
+    st.tuples(
+        st.integers(0, 60),
+        st.sampled_from(("start", "stop", "split", "speed")),
+        st.integers(0, 3),
+    ),
+    min_size=1,
+    max_size=25,
+)
+_proximity = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 50), st.integers(1, 20)),
+    max_size=6,
+)
+
+
+class TestPropertyEquivalence:
+    @given(
+        raw_events=_events,
+        raw_proximity=_proximity,
+        window=st.integers(5, 40),
+        step=st.integers(1, 10),
+        mutation=st.integers(0, len(MUTATIONS) - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_optimised_matches_plain(
+        self, raw_events, raw_proximity, window, step, mutation
+    ):
+        stream, fluents = _build_input(raw_events, raw_proximity)
+        description = EventDescription.from_text(MUTATIONS[mutation])
+        plain = RTECEngine(description, strict=False).recognise(
+            stream, fluents, window=window, step=step
+        )
+        fast = RTECEngine(description, strict=False).recognise(
+            stream, fluents, window=window, step=step, optimise=True
+        )
+        assert dict(fast.items()) == dict(plain.items())
+
+    @given(raw_events=_events, raw_proximity=_proximity)
+    @settings(max_examples=30, deadline=None)
+    def test_single_window_matches_plain(self, raw_events, raw_proximity):
+        stream, fluents = _build_input(raw_events, raw_proximity)
+        description = EventDescription.from_text(MUTATIONS[1])
+        engine = RTECEngine(description, strict=False)
+        plain = engine.recognise(stream, fluents)
+        fast = engine.recognise(stream, fluents, optimise=True)
+        assert dict(fast.items()) == dict(plain.items())
+
+
+@pytest.mark.parametrize("model", ("o1", "gpt-4o", "llama-3", "gemma-2"))
+def test_simulated_profiles_stay_equivalent(model):
+    """Descriptions with LLM-style flaws run identically when optimised."""
+    from repro.generation import generate
+    from repro.llm import BEST_SCHEME
+    dataset = build_dataset(seed=0, scale=0.1, traffic=2)
+    outcome = generate(model, BEST_SCHEME[model], seed=0)
+    description = outcome.generated.to_event_description()
+    engine = RTECEngine(
+        description, dataset.kb, dataset.vocabulary, strict=False, skip_errors=True
+    )
+    plain = engine.recognise(dataset.stream, dataset.input_fluents, window=600)
+    fast = engine.recognise(
+        dataset.stream, dataset.input_fluents, window=600, optimise=True
+    )
+    assert fast.to_json() == plain.to_json()

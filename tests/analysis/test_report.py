@@ -122,3 +122,44 @@ class TestSarif:
         report = analyse_text("not prolog @@@", None, source="junk.prolog")
         sarif = to_sarif(report)
         assert [r["ruleId"] for r in sarif["runs"][0]["results"]] == ["RTEC001"]
+
+    def test_sarif_2_1_0_required_properties(self):
+        """The log carries every property the SARIF 2.1.0 schema requires,
+        plus the rule metadata GitHub code scanning keys on (helpUri and a
+        resolvable ruleIndex for every result)."""
+        text = (
+            "initiatedAt(f(V)=true, T) :-\n"
+            "    happensAt(gap_start(V), T),\n"
+            "    Speed > 5.\n"
+        )
+        report = analyse_text(text, None, source="bad.prolog")
+        sarif = to_sarif(report)
+        # sarifLog: version + runs required; $schema identifies the dialect.
+        assert sarif["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in sarif["$schema"]
+        assert isinstance(sarif["runs"], list) and sarif["runs"]
+        for run in sarif["runs"]:
+            # run: tool required; tool: driver required; driver: name required.
+            driver = run["tool"]["driver"]
+            assert driver["name"]
+            rules = driver["rules"]
+            for index, rule in enumerate(rules):
+                # reportingDescriptor: id required.
+                assert rule["id"]
+                assert rule["helpUri"].endswith(rule["id"].lower())
+                assert rule["shortDescription"]["text"]
+                assert rule["defaultConfiguration"]["level"] in (
+                    "error", "warning", "note",
+                )
+            rule_ids = [rule["id"] for rule in rules]
+            for result in run["results"]:
+                # result: message required.
+                assert result["message"]["text"]
+                # every result's ruleIndex resolves to its ruleId.
+                assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+
+    def test_semantic_codes_are_documented_rules(self):
+        for code in ("RTEC0%d" % number for number in range(17, 25)):
+            rule = rule_for(code)
+            assert rule is not None
+            assert rule.help_uri.endswith(code.lower())

@@ -1,0 +1,286 @@
+"""The semantic abstract-interpretation layer (RTEC017-024).
+
+Gold descriptions are semantically clean; each seeded corruption of the
+gold maritime description is caught with the documented code. The RTEC017
+case doubles as the acceptance scenario: a mutation that passes every
+structural/binding/vocabulary check (RTEC001-016 report no errors) and is
+only caught by sort inference.
+"""
+
+import pytest
+
+from repro.analysis import analyse, analyse_text
+from repro.analysis.semantics import (
+    RuleFacts,
+    analyse_semantics,
+    background_bounds,
+    comparison_facts,
+)
+from repro.fleet import FLEET_VOCABULARY, fleet_gold_event_description
+from repro.logic.parser import parse_rule
+from repro.maritime import MARITIME_VOCABULARY, build_dataset, gold_event_description
+from repro.rtec import EventDescription
+
+SEMANTIC_CODES = {"RTEC0%d" % code for code in range(17, 25)}
+
+
+def _semantic(report):
+    return [d for d in report.diagnostics if d.code in SEMANTIC_CODES]
+
+
+class TestGoldIsClean:
+    def test_maritime_gold_has_no_semantic_diagnostics(self):
+        description = gold_event_description()
+        report = analyse(description, MARITIME_VOCABULARY)
+        assert _semantic(report) == []
+
+    def test_maritime_gold_clean_with_knowledge_base(self):
+        # The kb seeds the value-domain analysis with real threshold facts;
+        # the gold comparisons must stay satisfiable against them.
+        dataset = build_dataset(seed=0, scale=0.1)
+        description = gold_event_description()
+        report = analyse(description, MARITIME_VOCABULARY, kb=dataset.kb)
+        assert _semantic(report) == []
+
+    def test_fleet_gold_has_no_semantic_diagnostics(self):
+        description = fleet_gold_event_description()
+        report = analyse(description, FLEET_VOCABULARY)
+        assert _semantic(report) == []
+
+
+class TestSortClash:
+    """RTEC017 — and the acceptance scenario: the mutation is invisible to
+    every structural pass (no errors) and only sort inference flags it."""
+
+    def _mutate(self):
+        text = gold_event_description().to_text()
+        needle = "holdsAt(withinArea(Vessel, nearPorts)=true, T)."
+        assert needle in text
+        return text.replace(
+            needle, "holdsAt(withinArea(Vessel, 7)=true, T).", 1
+        )
+
+    def test_rtec017_reported(self):
+        report = analyse_text(self._mutate(), MARITIME_VOCABULARY)
+        clashes = report.by_code("RTEC017")
+        assert clashes
+        assert "withinArea" in clashes[0].message
+        assert "numeric" in clashes[0].message
+
+    def test_mutation_passes_all_structural_checks(self):
+        report = analyse_text(self._mutate(), MARITIME_VOCABULARY)
+        assert report.errors == []
+        assert not any(
+            d.code < "RTEC017" for d in report.diagnostics if d.code is not None
+        )
+        assert _semantic(report)
+
+
+class TestImpossibleValue:
+    def test_rtec018_on_unproducible_fluent_value(self):
+        text = gold_event_description().to_text()
+        needle = "holdsFor(movingSpeed(Vessel)=below, I1),"
+        assert needle in text
+        mutated = text.replace(
+            needle, "holdsFor(movingSpeed(Vessel)=crawling, I1),", 1
+        )
+        report = analyse_text(mutated, MARITIME_VOCABULARY)
+        impossible = report.by_code("RTEC018")
+        assert impossible
+        assert "crawling" in impossible[0].message
+
+    def test_union_branch_stays_reachable(self):
+        # Regression: one impossible branch of a union_all must not make
+        # the whole static fluent unreachable — the other branches still
+        # produce intervals.
+        text = gold_event_description().to_text()
+        mutated = text.replace(
+            "holdsFor(movingSpeed(Vessel)=below, I1),",
+            "holdsFor(movingSpeed(Vessel)=crawling, I1),",
+            1,
+        )
+        report = analyse_text(mutated, MARITIME_VOCABULARY)
+        assert not report.by_code("RTEC022")
+        assert not report.by_code("RTEC023")
+
+
+class TestContradictoryConditions:
+    def test_rtec019_with_remove_rule_fix(self):
+        text = gold_event_description().to_text()
+        mutated = text.replace(
+            "    Speed>=MovingMin,",
+            "    Speed>=MovingMin,\n    Speed<MovingMin,",
+            1,
+        )
+        report = analyse_text(mutated, MARITIME_VOCABULARY)
+        contradictions = report.by_code("RTEC019")
+        assert contradictions
+        assert contradictions[0].fix is not None
+        assert contradictions[0].fix.kind == "remove-rule"
+        # The contradiction already removes the rule; do not also report
+        # its conditions as subsumed.
+        assert not any(
+            d.rule_index == contradictions[0].rule_index
+            for d in report.by_code("RTEC021")
+        )
+
+    def test_contradictory_rule_is_not_reported_unreachable(self):
+        # One dead initiation of movingSpeed=below leaves the other
+        # movingSpeed values producible.
+        text = gold_event_description().to_text()
+        mutated = text.replace(
+            "    Speed>=MovingMin,",
+            "    Speed>=MovingMin,\n    Speed<MovingMin,",
+            1,
+        )
+        report = analyse_text(mutated, MARITIME_VOCABULARY)
+        assert not report.by_code("RTEC023")
+
+
+class TestConstantComparison:
+    def test_rtec020_on_ground_comparison(self):
+        text = gold_event_description().to_text()
+        mutated = text.replace(
+            "    Speed>=MovingMin,",
+            "    Speed>=MovingMin,\n    3>2,",
+            1,
+        )
+        report = analyse_text(mutated, MARITIME_VOCABULARY)
+        decided = report.by_code("RTEC020")
+        assert decided
+        assert "always" in decided[0].message
+
+
+class TestSubsumedCondition:
+    def test_rtec021_with_drop_condition_fix(self):
+        text = gold_event_description().to_text()
+        mutated = text.replace(
+            "    Speed>=MovingMin,",
+            "    Speed>=MovingMin,\n    Speed>MovingMin,",
+            1,
+        )
+        report = analyse_text(mutated, MARITIME_VOCABULARY)
+        subsumed = report.by_code("RTEC021")
+        assert subsumed
+        diag = subsumed[0]
+        assert diag.fix is not None
+        assert diag.fix.kind == "drop-condition"
+        assert "Speed>=MovingMin" in diag.fix.old
+
+
+GHOST_RULES = """
+initiatedAt(ghost(Vessel)=true, T) :-
+    happensAt(gap_start(Vessel), T),
+    holdsAt(movingSpeed(Vessel)=warp, T).
+
+terminatedAt(ghost(Vessel)=true, T) :-
+    happensAt(gap_end(Vessel), T).
+"""
+
+
+class TestReachability:
+    def _mutated(self):
+        return gold_event_description().to_text() + GHOST_RULES
+
+    def test_rtec022_on_unreachable_defined_fluent(self):
+        report = analyse_text(self._mutated(), MARITIME_VOCABULARY)
+        assert report.by_code("RTEC018")  # warp is not producible
+        unreachable = report.by_code("RTEC022")
+        assert unreachable
+        assert "ghost" in unreachable[0].message
+
+    def test_rtec023_when_the_fluent_is_a_declared_output(self):
+        description = EventDescription.from_text(self._mutated())
+        report = analyse(description, MARITIME_VOCABULARY, outputs=("ghost",))
+        assert report.by_code("RTEC023")
+        assert not report.by_code("RTEC022")
+
+
+class TestDeadTermination:
+    def test_rtec024_with_remove_rule_fix(self):
+        text = gold_event_description().to_text() + (
+            "\nterminatedAt(movingSpeed(Vessel)=warp, T) :-\n"
+            "    happensAt(gap_start(Vessel), T).\n"
+        )
+        report = analyse_text(text, MARITIME_VOCABULARY)
+        dead = report.by_code("RTEC024")
+        assert dead
+        assert dead[0].fix is not None
+        assert dead[0].fix.kind == "remove-rule"
+
+
+class TestComparisonFacts:
+    def _facts(self, body) -> RuleFacts:
+        rule = parse_rule(
+            "initiatedAt(f(V)=true, T) :- happensAt(e(V, X, Y), T), %s." % body
+        )
+        return comparison_facts(rule, 0)
+
+    def test_contradiction(self):
+        facts = self._facts("X > 5, X < 3")
+        assert facts.contradiction is not None
+        assert facts.never_fires
+
+    def test_interval_subsumption(self):
+        facts = self._facts("X > 5, X > 3")
+        assert 2 in facts.subsumed
+
+    def test_operator_subsumption(self):
+        facts = self._facts("X > Y, X >= Y")
+        assert 2 in facts.subsumed
+
+    def test_always_true_and_false(self):
+        assert 1 in self._facts("1 < 2").always_true
+        assert 1 in self._facts("2 < 1").always_false
+        assert self._facts("2 < 1").never_fires
+
+    def test_same_operand_comparison(self):
+        assert 1 in self._facts("X >= X").always_true
+        assert 1 in self._facts("X < X").always_false
+
+    def test_satisfiable_band_is_clean(self):
+        facts = self._facts("X > 3, X < 9")
+        assert facts.contradiction is None
+        assert not facts.subsumed
+        assert not facts.never_fires
+
+
+class TestBackgroundBounds:
+    def test_kb_facts_bound_the_variable(self):
+        from repro.logic.knowledge import KnowledgeBase
+        from repro.logic.parser import parse_term
+
+        kb = KnowledgeBase(
+            parse_term("thresholds(movingMin, %d)" % value) for value in (3, 5, 9)
+        )
+        rule = parse_rule(
+            "initiatedAt(f(V)=true, T) :- happensAt(e(V, X), T), "
+            "thresholds(movingMin, M), X < M."
+        )
+        facts = comparison_facts(rule, 0, kb=kb)
+        assert facts.contradiction is None
+        # M is at most 9: X > 20 together with X < M is unsatisfiable.
+        rule = parse_rule(
+            "initiatedAt(f(V)=true, T) :- happensAt(e(V, X), T), "
+            "thresholds(movingMin, M), X > 20, X < M."
+        )
+        facts = comparison_facts(rule, 0, kb=kb)
+        assert facts.never_fires
+
+
+class TestAnalyseSemantics:
+    def test_facts_surface_on_gold(self):
+        description = gold_event_description()
+        facts = analyse_semantics(description, vocabulary=MARITIME_VOCABULARY)
+        assert facts.diagnostics == []
+        assert facts.producible
+        assert ("movingSpeed", 1) in facts.producible
+        assert facts.unreachable == set()
+
+    def test_diagnostics_have_semantic_codes(self):
+        description = EventDescription.from_text(
+            gold_event_description().to_text() + GHOST_RULES
+        )
+        facts = analyse_semantics(description, vocabulary=MARITIME_VOCABULARY)
+        codes = {d.code for d in facts.diagnostics}
+        assert codes and codes <= SEMANTIC_CODES

@@ -143,3 +143,36 @@ class TestPostLint:
         )
         assert report.post_lint is not None
         assert report.post_lint.has_errors
+
+
+class TestSemanticDiagnostics:
+    def test_semantic_diagnostics_empty_before_post_lint(self):
+        from repro.generation.correction import CorrectionReport
+
+        assert CorrectionReport().semantic_diagnostics == []
+
+    def test_semantic_diagnostics_filter_codes(self, kb):
+        from repro.llm import BEST_SCHEME
+
+        outcome = generate("o1", BEST_SCHEME["o1"])
+        _corrected, report = correct_event_description(
+            outcome.generated, MARITIME_VOCABULARY, kb
+        )
+        semantic = report.semantic_diagnostics
+        assert all("RTEC017" <= d.code <= "RTEC024" for d in semantic)
+        structural = {
+            d.code for d in report.post_lint.diagnostics if d.code < "RTEC017"
+        }
+        # The property never swallows structural codes into the bucket.
+        assert not structural & {d.code for d in semantic}
+
+    def test_every_profile_reports_the_property_without_crashing(self, kb):
+        from repro.llm import BEST_SCHEME, MODEL_NAMES
+
+        for model in MODEL_NAMES:
+            outcome = generate(model, BEST_SCHEME[model])
+            _corrected, report = correct_event_description(
+                outcome.generated, MARITIME_VOCABULARY, kb
+            )
+            for diag in report.semantic_diagnostics:
+                assert diag.severity is not None

@@ -4,6 +4,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.intervals import make_intervals_from_points
+from repro.intervals.pairing import pair_intervals
 
 
 class TestPairing:
@@ -47,6 +48,64 @@ class TestPairing:
     def test_duplicate_points_deduplicated(self):
         result = make_intervals_from_points([3, 3], [8, 8])
         assert result.as_pairs() == [(4, 8)]
+
+
+class TestDeadlineBarriers:
+    def test_deadline_close_is_reported(self):
+        intervals, open_start, deadline_close = pair_intervals(
+            [0, 1], [], open_end=10, max_duration=7
+        )
+        assert intervals.as_pairs() == [(1, 7)]
+        assert open_start is None
+        assert deadline_close == 7
+
+    def test_explicit_close_reports_no_deadline(self):
+        intervals, _open, deadline_close = pair_intervals(
+            [0], [5], open_end=10, max_duration=7
+        )
+        assert intervals.as_pairs() == [(1, 5)]
+        assert deadline_close is None
+
+    def test_termination_at_the_deadline_counts_as_explicit(self):
+        # The termination event exists in the stream and is forgotten
+        # together with any intermediate initiations: no barrier needed.
+        _ivs, _open, deadline_close = pair_intervals(
+            [0], [7], open_end=10, max_duration=7
+        )
+        assert deadline_close is None
+
+    def test_last_deadline_close_wins(self):
+        intervals, _open, deadline_close = pair_intervals(
+            [0, 10], [], open_end=30, max_duration=7
+        )
+        assert intervals.as_pairs() == [(1, 7), (11, 17)]
+        assert deadline_close == 17
+
+    def test_open_period_reports_earlier_deadline_close(self):
+        intervals, open_start, deadline_close = pair_intervals(
+            [0, 10], [], open_end=12, max_duration=7
+        )
+        assert intervals.as_pairs() == [(1, 7), (11, 12)]
+        assert open_start == 10
+        assert deadline_close == 7
+
+    def test_closed_until_suppresses_intermediate_initiations(self):
+        # The barrier stands in for a forgotten anchor at 0 whose period a
+        # previous window closed at 7: the initiation at 1 must not
+        # re-anchor, while the one at 9 starts a genuine new period.
+        intervals, open_start, _close = pair_intervals(
+            [1, 9], [], open_end=12, max_duration=7, closed_until=7
+        )
+        assert intervals.as_pairs() == [(10, 12)]
+        assert open_start == 9
+
+    def test_closed_until_may_suppress_everything(self):
+        intervals, open_start, deadline_close = pair_intervals(
+            [1, 2], [], open_end=12, max_duration=7, closed_until=7
+        )
+        assert not intervals
+        assert open_start is None
+        assert deadline_close is None
 
 
 class TestPairingProperties:

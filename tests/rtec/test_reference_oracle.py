@@ -114,3 +114,18 @@ class TestEngineAgainstOracle:
         oracle = ReferenceEvaluator(description, KB, stream)
         with pytest.raises(ValueError):
             oracle.holds_at(parse_term("speed(V)=low"), 3)
+
+    def test_deadline_close_at_window_boundary(self):
+        # Regression (found by hypothesis): burst(v2) is initiated at 0 and
+        # again at 1; maxDuration 7 closes the period at 7, exactly the end
+        # of the first window (-1, 7]. The deadline close leaves no
+        # termination event, so without the carried barrier the second
+        # window (0, 8] — having forgotten fast@0 — re-anchors on the
+        # intermediate initiation fast@1 and extends the period to 8.
+        raw = [(0, "fast", "v2"), (1, "fast", "v2"), (8, "slow", "v1")]
+        description, stream = _build(raw)
+        engine = RTECEngine(description, KB, strict=False)
+        result = engine.recognise(stream, window=8)
+        _compare(description, stream, result, stream.max_time)
+        burst = result.holds_for(parse_term("burst(v2)=true"))
+        assert sorted(burst.points()) == [1, 2, 3, 4, 5, 6, 7]

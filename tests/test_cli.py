@@ -132,12 +132,77 @@ class TestLint:
         assert "deprecated: use 'repro lint'" in text
 
 
+def _subsumed_mutation(tmp_path):
+    from repro.maritime import gold_event_description
+
+    text = gold_event_description().to_text().replace(
+        "    Speed>=MovingMin,",
+        "    Speed>=MovingMin,\n    Speed>MovingMin,",
+        1,
+    )
+    path = tmp_path / "mutated.prolog"
+    path.write_text(text)
+    return path
+
+
+class TestLintFix:
+    def test_select_filters_diagnostics(self, tmp_path, capsys):
+        path = _subsumed_mutation(tmp_path)
+        assert main(
+            ["lint", str(path), "--select", "RTEC021", "--fail-on", "never"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "RTEC021" in out
+        assert "RTEC007" not in out
+        # Selecting a code the report does not contain yields a clean report.
+        assert main(
+            ["lint", str(path), "--select", "RTEC019", "--fail-on", "warning"]
+        ) == 0
+
+    def test_fix_diff_prints_without_writing(self, tmp_path, capsys):
+        path = _subsumed_mutation(tmp_path)
+        before = path.read_text()
+        assert main(["lint", str(path), "--fix", "--diff", "--fail-on", "never"]) == 0
+        out = capsys.readouterr().out
+        assert "-    Speed>=MovingMin," in out
+        assert path.read_text() == before
+
+    def test_fix_rewrites_the_file(self, tmp_path, capsys):
+        path = _subsumed_mutation(tmp_path)
+        assert main(["lint", str(path), "--fix", "--fail-on", "never"]) == 0
+        assert "applied" in capsys.readouterr().out
+        # The fixed file lints clean of the subsumption.
+        assert main(["lint", str(path), "--fail-on", "warning"]) == 0
+
+    def test_diff_requires_fix(self, tmp_path, capsys):
+        path = _subsumed_mutation(tmp_path)
+        assert main(["lint", str(path), "--diff"]) == 2
+
+    def test_gold_fix_requires_diff(self, capsys):
+        assert main(["lint", "--gold", "maritime", "--fix"]) == 2
+        assert main(["lint", "--gold", "maritime", "--fix", "--diff"]) == 0
+        assert "no applicable fixes" in capsys.readouterr().out
+
+
 class TestRecognise:
     def test_prints_activity_summary(self, capsys):
         assert main(["recognise", "--scale", "0.15", "--traffic", "1"]) == 0
         out = capsys.readouterr().out
         assert "trawling" in out
         assert "drifting" in out
+
+    def test_optimise_flag_matches_plain(self, capsys):
+        assert main(["recognise", "--scale", "0.15", "--traffic", "1"]) == 0
+        plain = capsys.readouterr().out
+        assert main(
+            ["recognise", "--scale", "0.15", "--traffic", "1", "--optimise"]
+        ) == 0
+        optimised = capsys.readouterr().out
+        assert "% optimiser:" in optimised
+        table = "\n".join(
+            line for line in optimised.splitlines() if not line.startswith("%")
+        )
+        assert table.strip() == plain.strip()
 
 
 class TestProfile:
