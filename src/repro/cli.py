@@ -304,6 +304,11 @@ def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
         "--checkpoint-keep", type=int, default=None, metavar="N",
         help="keep at most N checkpoint files per session",
     )
+    parser.add_argument(
+        "--no-incremental", dest="incremental", action="store_false", default=True,
+        help="recompute the full window on every advance instead of the "
+        "incremental (delta) evaluation (the verification oracle)",
+    )
 
 
 def _cmd_fig2a(args: argparse.Namespace) -> int:
@@ -670,6 +675,7 @@ def _serving_config(args: argparse.Namespace):
         high_water=args.high_water,
         checkpoint_every=args.checkpoint_every,
         checkpoint_keep=args.checkpoint_keep,
+        incremental=args.incremental,
     )
 
 

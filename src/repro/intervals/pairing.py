@@ -55,7 +55,7 @@ def pair_intervals(
     (intervals, open_start, deadline_close):
         The maximal intervals under the ``(Ts, Te]`` semantics; the
         initiation point of the period that is still open at the query time
-        (``None`` when every period is closed); and the end of the last
+        (``None`` when every period is closed); and the *latest* end of any
         period closed by its ``max_duration`` deadline (``None`` when no
         period was). A closed period's endpoint is fixed: forgetting its
         termination event later cannot re-open it. Deadline closes leave no
@@ -63,6 +63,15 @@ def pair_intervals(
         ``deadline_close`` as the next window's ``closed_until`` barrier;
         explicit closes need no barrier because re-pairing the retained
         events reproduces the same endpoint from any anchor.
+
+        One barrier suffices for a window with *several* deadline-closed
+        periods: periods are paired in initiation order, every later period
+        anchors strictly after the previous close, so deadline closes are
+        non-decreasing along the loop and the latest one covers — i.e. is
+        ``>=`` — every earlier close. The max is taken explicitly below so
+        the guarantee does not hinge on that ordering argument alone
+        (``tests/intervals/test_pairing.py`` exercises the multi-deadline
+        and crash/restore cases).
     """
     if max_duration is not None and max_duration <= 0:
         raise ValueError("max_duration must be positive")
@@ -96,7 +105,10 @@ def pair_intervals(
             end: Optional[int] = te  # closed by an explicit termination
         elif deadline is not None and (open_end is None or deadline <= open_end):
             end = deadline  # closed by the deadline within this window
-            deadline_close = deadline
+            # Keep the *maximal* close: the barrier carried to the next
+            # window must cover every deadline-closed period of this one.
+            if deadline_close is None or deadline > deadline_close:
+                deadline_close = deadline
         elif deadline is not None:
             # The deadline lies beyond the query time: visible part only,
             # and the period is still open.

@@ -20,10 +20,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro import telemetry
+from repro.intervals import IntervalList, union_all
 from repro.logic.knowledge import KnowledgeBase
 from repro.logic.terms import Compound, Term
 from repro.rtec.description import EventDescription, Vocabulary, fluent_key
-from repro.rtec.errors import InvalidEventDescriptionError
+from repro.rtec.errors import EvaluationError, InvalidEventDescriptionError
 from repro.rtec.result import RecognitionResult
 from repro.rtec.simple import evaluate_simple_fluent
 from repro.rtec.static import evaluate_static_fluent
@@ -79,6 +80,47 @@ class RTECEngine:
         self._optimised: Dict[frozenset, "RTECEngine"] = {}
         #: The OptimisationResult this engine was built from, if any.
         self.optimisation = None
+        #: Lazily computed delta-evaluation diagnostics (None: not yet run).
+        self._delta_diagnostics: Optional[List[str]] = None
+
+    def delta_diagnostics(self) -> List[str]:
+        """Why incremental (delta) window evaluation is unsafe; empty = safe.
+
+        Delta evaluation re-runs the simple-fluent rules over only the
+        events newer than the previous query time and repairs the cached
+        derivations. That is sound exactly when every rule's firing points
+        after the previous query time depend only on input newer than it —
+        i.e. when every ``initiatedAt``/``terminatedAt`` rule is
+        *time-anchored* (see :func:`repro.rtec.compile.rule_time_anchored`).
+        Statically determined fluents need no per-rule check: their interval
+        constructs (union, intersection, relative complement) are pointwise
+        in time, so recomputing them over the repaired store is always
+        faithful. The result is computed once and cached; sessions consult
+        it to decide between the delta path and full recomputation.
+        """
+        if self._delta_diagnostics is not None:
+            return self._delta_diagnostics
+        from repro.rtec.compile import compile_rule, rule_time_anchored
+
+        diagnostics: List[str] = []
+        for key, definition in self.description.simple_fluents.items():
+            for rule in definition.initiated_rules + definition.terminated_rules:
+                try:
+                    plan = compile_rule(rule)
+                except EvaluationError as exc:
+                    diagnostics.append(
+                        "%s/%d: rule %r does not compile (%s)"
+                        % (key[0], key[1], rule.head, exc)
+                    )
+                    continue
+                if not rule_time_anchored(plan):
+                    diagnostics.append(
+                        "%s/%d: rule %r is not time-anchored (a temporal "
+                        "condition can reach back before the previous query "
+                        "time)" % (key[0], key[1], rule.head)
+                    )
+        self._delta_diagnostics = diagnostics
+        return diagnostics
 
     @staticmethod
     def _bounds(
@@ -266,6 +308,7 @@ class RTECEngine:
         barriers: Optional[Dict[Term, int]] = None,
         include_initially: bool = False,
         merge_from: Optional[int] = None,
+        capture: Optional[Dict[Term, IntervalList]] = None,
     ) -> Tuple[Dict[Term, int], Dict[Term, int]]:
         """Evaluate one window; returns the state to carry forward.
 
@@ -286,6 +329,10 @@ class RTECEngine:
         ``merge_from`` is the previous query time: the detections at points
         up to and including it are final, so this window only contributes
         points in ``(merge_from, window_end]`` to the amalgamated result.
+
+        ``capture``, when given, is filled with the window's full fluent
+        store (every FVP's intervals before the ``merge_from`` clipping) —
+        incremental sessions seed their derivation cache from it.
 
         Returns ``(open initiations, deadline barriers)`` for the next
         window.
@@ -371,6 +418,8 @@ class RTECEngine:
             stored_fvps = 0
             for pair, intervals in store.items():
                 stored_fvps += 1
+                if capture is not None:
+                    capture[pair] = intervals
                 if merge_from is not None:
                     intervals = intervals.restrict(merge_from + 1, window_end)
                 result.merge(pair, intervals)
@@ -378,3 +427,153 @@ class RTECEngine:
             sp.count("carried_open", len(next_pending))
             sp.count("carried_barriers", len(next_barriers))
             return next_pending, next_barriers
+
+    def _process_window_delta(
+        self,
+        delta_stream: EventStream,
+        input_fluents: InputFluents,
+        window_start: int,
+        window_end: int,
+        result: RecognitionResult,
+        pending: Dict[Term, int],
+        barriers: Dict[Term, int],
+        cache: Dict[Term, IntervalList],
+        merge_from: int,
+    ) -> Tuple[Dict[Term, int], Dict[Term, int], Dict[Term, IntervalList]]:
+        """Evaluate one window advance from its *delta* instead of from scratch.
+
+        ``delta_stream`` holds only the window's events strictly after
+        ``merge_from`` (the previous query time); ``cache`` holds the
+        previous advance's fluent store (every derived FVP's maximal
+        intervals, all at or before ``merge_from``). Instead of re-deriving
+        the whole window ``(window_start, window_end]``, the method
+
+        1. rebuilds the store from the cached derivations and the retained
+           input fluents (both clipped to the current window), so old
+           points are *remembered*, not recomputed;
+        2. re-runs each simple fluent's rules over just the delta events —
+           sound because the session only takes this path when every rule
+           is time-anchored (:meth:`delta_diagnostics`) — and *repairs* the
+           cached intervals by pairing the new firing points with the
+           carried open initiations and ``closed_until`` barriers
+           (:func:`repro.intervals.pairing.pair_intervals` does the
+           anchoring);
+        3. recomputes a statically determined fluent only when a fluent it
+           depends on changed this advance (dirtiness propagates through
+           :meth:`repro.rtec.description.EventDescription.dependencies`);
+           clean static fluents keep their cached intervals, which are
+           final.
+
+        Because carried barriers are filtered against the *full* window
+        start here (not the delta boundary), a ``maxDuration`` close stays
+        in force for as long as full recomputation would keep it — a
+        restore followed by a full-recompute advance sees the same barrier
+        set either way.
+
+        Returns ``(open initiations, deadline barriers, next cache)``; the
+        amalgamated ``result`` gains exactly the points in
+        ``(merge_from, window_end]``, byte-equal to what full recomputation
+        would contribute (property-checked by the test suite).
+        """
+        with telemetry.span(
+            "rtec.window_delta",
+            window_start=window_start,
+            window_end=window_end,
+            pending=len(pending),
+        ) as sp:
+            store = FluentStore()
+            base: Dict[Term, IntervalList] = {}
+            changed_keys = set()
+            for pair, intervals in input_fluents.items():
+                clipped = intervals.restrict(window_start + 1, window_end)
+                if clipped:
+                    base[pair] = clipped
+                    if clipped.span[1] > merge_from:
+                        assert isinstance(pair, Compound)
+                        changed_keys.add(fluent_key(pair.args[0]))
+            for pair, intervals in cache.items():
+                clipped = intervals.restrict(window_start + 1, window_end)
+                if clipped:
+                    prior = base.get(pair)
+                    base[pair] = union_all([prior, clipped]) if prior else clipped
+            for pair, intervals in base.items():
+                store.set(pair, intervals)
+            on_error = self.runtime_warnings.append if self.skip_errors else None
+            dependencies = self.description.dependencies()
+            next_pending: Dict[Term, int] = {}
+            next_barriers: Dict[Term, int] = {}
+            skipped_static = 0
+            for key in self._order:
+                if key in self.description.simple_fluents:
+                    carried: Dict[Term, int] = {}
+                    for pair, started in pending.items():
+                        assert isinstance(pair, Compound)
+                        if fluent_key(pair.args[0]) == key:
+                            carried[pair] = started
+                    carried_barriers: Optional[Dict[Term, int]] = None
+                    if barriers:
+                        carried_barriers = {
+                            pair: barrier
+                            for pair, barrier in barriers.items()
+                            if isinstance(pair, Compound)
+                            and fluent_key(pair.args[0]) == key
+                        }
+                    computed, opened, closed = evaluate_simple_fluent(
+                        self.description.simple_fluents[key],
+                        delta_stream,
+                        self.kb,
+                        store,
+                        window_start,
+                        window_end,
+                        carried,
+                        on_error=on_error,
+                        max_duration_for=self.description.max_duration_for
+                        if self.description.max_durations
+                        else None,
+                        carried_barriers=carried_barriers,
+                    )
+                    next_pending.update(opened)
+                    next_barriers.update(closed)
+                    dirty = bool(opened)
+                    for pair, intervals in computed.items():
+                        clipped = intervals.restrict(window_start + 1, window_end)
+                        if not clipped:
+                            continue
+                        prior = base.get(pair)
+                        repaired = (
+                            union_all([prior, clipped]) if prior else clipped
+                        )
+                        if repaired != prior:
+                            dirty = True
+                        store.set(pair, repaired)
+                    if dirty:
+                        changed_keys.add(key)
+                else:
+                    if not (dependencies.get(key, set()) & changed_keys):
+                        # No dependency changed: the cached intervals (already
+                        # in the store) are final and contribute nothing new.
+                        skipped_static += 1
+                        continue
+                    computed = evaluate_static_fluent(
+                        self.description.static_fluents[key],
+                        self.kb,
+                        store,
+                        on_error=on_error,
+                    )
+                    for pair, intervals in computed.items():
+                        store.set(pair, intervals)
+                    changed_keys.add(key)
+            next_cache: Dict[Term, IntervalList] = {}
+            for pair, intervals in store.items():
+                next_cache[pair] = intervals
+                clipped = intervals.restrict(merge_from + 1, window_end)
+                if clipped:
+                    result.merge(pair, clipped)
+            if sp.enabled:
+                sp.count("delta_events", len(delta_stream))
+                sp.count("cached_fvps", len(cache))
+                sp.count("changed_keys", len(changed_keys))
+                sp.count("skipped_static", skipped_static)
+                sp.count("carried_open", len(next_pending))
+                sp.count("carried_barriers", len(next_barriers))
+            return next_pending, next_barriers, next_cache

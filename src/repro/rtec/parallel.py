@@ -30,14 +30,58 @@ import pickle
 import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple, TypeVar
 
 from repro import telemetry
+from repro.logic.terms import Term
 from repro.rtec.engine import RTECEngine
 from repro.rtec.result import RecognitionResult
 from repro.rtec.stream import EventStream, InputFluents, partition_input
 
-__all__ = ["ShardedRTECEngine", "recognise_sharded", "shard_pool"]
+__all__ = [
+    "ShardedRTECEngine",
+    "recognise_sharded",
+    "shard_pool",
+    "split_fvp_state",
+]
+
+_V = TypeVar("_V")
+
+
+def split_fvp_state(
+    mapping: Mapping[Term, _V],
+    analysis: Any,
+    entity_shard: Mapping[Term, int],
+    shard_count: int,
+) -> Tuple[List[Dict[Term, _V]], Dict[Term, _V]]:
+    """Distribute FVP-keyed carried state over entity shards.
+
+    Sessions carry several per-FVP mappings between windows (open
+    initiations, deadline barriers, the delta derivation cache). When a
+    window is evaluated over entity shards, each mapping must be split the
+    same way the input is: entries whose FVP names an entity go to that
+    entity's shard, entity-free entries are *global* and are replicated to
+    every shard by the caller — every shard derives the identical value for
+    them, so merging is idempotent.
+
+    Returns ``(per_shard, global_items)`` where ``per_shard[i]`` holds the
+    entries owned by shard ``i``. Entries whose entity is not in
+    ``entity_shard`` (the entity produced no input this window and was not
+    kept alive via ``extra_entities``) are dropped — callers must ensure
+    every entity of state that still matters is passed to
+    :func:`repro.rtec.stream.partition_input` as ``extra_entities``.
+    """
+    per_shard: List[Dict[Term, _V]] = [dict() for _ in range(shard_count)]
+    global_items: Dict[Term, _V] = {}
+    for pair, value in mapping.items():
+        entities = analysis.fvp_entities(pair)
+        if entities:
+            index = entity_shard.get(entities[0])
+            if index is not None:
+                per_shard[index][pair] = value
+        else:
+            global_items[pair] = value
+    return per_shard, global_items
 
 #: Shared thread pool for per-session shard fan-out, grown on demand.
 _SHARD_POOL: Optional[ThreadPoolExecutor] = None

@@ -29,6 +29,7 @@ from repro import telemetry
 from repro.intervals import IntervalList, union_all
 from repro.logic.terms import Term
 from repro.rtec.engine import RTECEngine
+from repro.rtec.parallel import split_fvp_state
 from repro.rtec.result import RecognitionResult
 from repro.rtec.stream import Event, EventStream, InputFluents, partition_input
 
@@ -59,6 +60,16 @@ class SessionSnapshot:
     result: RecognitionResult = field(default_factory=RecognitionResult)
     last_query: Optional[int] = None
     first_advance: bool = True
+    #: Derivation cache for incremental (delta) advances: every derived
+    #: FVP's maximal intervals within the retained window, as of the last
+    #: advance. ``None`` means no cache is available (fresh session, or a
+    #: snapshot restored from a pre-delta checkpoint): the next advance
+    #: recomputes the full window and rebuilds it.
+    derived_cache: Optional[Dict[Term, IntervalList]] = None
+    #: Whether input arrived at or before the last query time since the
+    #: last advance; such late arrivals invalidate the delta cache for one
+    #: advance (full recomputation repairs it).
+    stale: bool = False
 
 
 class RTECSession:
@@ -78,14 +89,36 @@ class RTECSession:
         shards over a thread pool, carrying open initiations per shard.
         Results are identical to sequential advances; descriptions that are
         not shardable fall back to sequential evaluation with a warning.
+    incremental:
+        When true (the default), an advance consumes only the *delta* —
+        the events newer than the previous query time — and repairs the
+        cached per-FVP derivations instead of re-deriving the whole
+        overlapping window (see
+        :meth:`~repro.rtec.engine.RTECEngine._process_window_delta`).
+        Results are byte-equal to full recomputation (property-checked);
+        the session silently falls back to full recomputation whenever the
+        delta path would be unsound: on the first advance, after input
+        arrived at or before the previous query time, after restoring a
+        snapshot without a derivation cache, and for descriptions whose
+        rules are not time-anchored
+        (:meth:`~repro.rtec.engine.RTECEngine.delta_diagnostics`). With
+        ``incremental=False`` every advance recomputes the full window —
+        retained as the oracle the incremental path is verified against.
     """
 
-    def __init__(self, engine: RTECEngine, window: int, jobs: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        engine: RTECEngine,
+        window: int,
+        jobs: Optional[int] = None,
+        incremental: bool = True,
+    ) -> None:
         if window <= 0:
             raise ValueError("window size must be positive")
         self.engine = engine
         self.window = window
         self.jobs = jobs
+        self.incremental = incremental
         self._buffer: List[Event] = []
         #: Input-fluent intervals still reachable by a future window; merged
         #: on submission and clipped at each advance so storage is bounded
@@ -97,6 +130,9 @@ class RTECSession:
         self._last_query: Optional[int] = None
         self._first_advance = True
         self._shard_warning_issued = False
+        #: See :class:`SessionSnapshot.derived_cache` / ``stale``.
+        self._derived_cache: Optional[Dict[Term, IntervalList]] = None
+        self._stale = False
 
     # -- input ----------------------------------------------------------------
 
@@ -111,6 +147,11 @@ class RTECSession:
         for event in events:
             if lower is not None and event.time <= lower:
                 continue
+            if self._last_query is not None and event.time <= self._last_query:
+                # A late arrival inside the retained window: the previous
+                # advance's derivations no longer cover it, so the next
+                # advance must recompute the full window.
+                self._stale = True
             self._buffer.append(event)
             accepted += 1
         return accepted
@@ -125,6 +166,13 @@ class RTECSession:
             intervals = self._clip_forgotten(intervals, self._last_query - self.window)
             if not intervals:
                 return
+            if intervals.span[0] < self._last_query:
+                # The delivery covers time-points at or before the previous
+                # query time (the interval semantics are (Ts, Te]): rules
+                # with holdsAt conditions over this fluent could have fired
+                # differently there, so the next advance must recompute the
+                # full window.
+                self._stale = True
         existing = self._fluent_intervals.get(pair)
         if existing:
             intervals = union_all([existing, intervals])
@@ -149,16 +197,22 @@ class RTECSession:
     def advance(self, query_time: int) -> RecognitionResult:
         """Run recognition at ``query_time`` and return the amalgamated result.
 
-        Query times must be non-decreasing. Events at or before
-        ``query_time - window`` are forgotten afterwards, bounding the
-        buffer (Section 2: reasoning cost depends on omega, not on the
+        Query times must be non-decreasing; advancing again at the *same*
+        query time is an idempotent no-op returning the cached result (the
+        window has already been evaluated — re-running it could only redo
+        work, and a zero-length delta carries no information). Events at or
+        before ``query_time - window`` are forgotten afterwards, bounding
+        the buffer (Section 2: reasoning cost depends on omega, not on the
         stream size).
         """
-        if self._last_query is not None and query_time < self._last_query:
-            raise ValueError(
-                "query times must be non-decreasing (%d < %d)"
-                % (query_time, self._last_query)
-            )
+        if self._last_query is not None:
+            if query_time < self._last_query:
+                raise ValueError(
+                    "query times must be non-decreasing (%d < %d)"
+                    % (query_time, self._last_query)
+                )
+            if query_time == self._last_query:
+                return self._result
         with telemetry.span("rtec.advance", query_time=query_time) as sp:
             horizon = query_time - self.window
             window_start = horizon
@@ -167,35 +221,33 @@ class RTECSession:
                 # the extension must happen before the buffer is filtered, or
                 # events in the extended part of the first window are lost.
                 window_start = min(window_start, -1)
-            stream = EventStream(
-                event for event in self._buffer if window_start < event.time <= query_time
-            )
             input_fluents = InputFluents()
             for pair, intervals in self._fluent_intervals.items():
                 input_fluents.set(pair, intervals)
             buffered_before = len(self._buffer)
-            carried: Optional[Tuple[Dict[Term, int], Dict[Term, int]]] = None
-            if self.jobs is not None and self.jobs != 1:
-                carried = self._advance_sharded(
-                    stream, input_fluents, window_start, query_time
+            delta_ready = (
+                self.incremental
+                and self._last_query is not None
+                and self._derived_cache is not None
+                and not self._stale
+                and not self.engine.delta_diagnostics()
+            )
+            if delta_ready:
+                window_events = self._advance_delta(
+                    input_fluents, window_start, query_time
                 )
-            if carried is None:
-                carried = self.engine._process_window(
-                    stream,
-                    input_fluents,
-                    window_start,
-                    query_time,
-                    self._result,
-                    pending=self._pending,
-                    barriers=self._barriers,
-                    include_initially=self._first_advance,
-                    merge_from=self._last_query,
+                mode = "delta"
+            else:
+                window_events = self._advance_full(
+                    input_fluents, window_start, query_time
                 )
-            self._pending, self._barriers = carried
+                mode = "full"
+            self._stale = False
             self._first_advance = False
             self._last_query = query_time
-            # Forget: drop events and input-fluent points that no future
-            # window can reach, bounding session memory by omega.
+            # Forget: drop events, input-fluent points and cached derivation
+            # points that no future window can reach, bounding session
+            # memory by omega.
             self._buffer = [event for event in self._buffer if event.time > horizon]
             kept: Dict[Term, IntervalList] = {}
             for pair, intervals in self._fluent_intervals.items():
@@ -203,26 +255,125 @@ class RTECSession:
                 if clipped:
                     kept[pair] = clipped
             self._fluent_intervals = kept
+            if self._derived_cache is not None:
+                trimmed: Dict[Term, IntervalList] = {}
+                for pair, intervals in self._derived_cache.items():
+                    clipped = self._clip_forgotten(intervals, horizon)
+                    if clipped:
+                        trimmed[pair] = clipped
+                self._derived_cache = trimmed
             if sp.enabled:
-                sp.count("events", len(stream))
+                sp.set(mode=mode)
+                sp.count("delta_hits" if mode == "delta" else "delta_misses", 1)
+                sp.count("events", window_events)
                 sp.count("buffered", len(self._buffer))
                 sp.count("forgotten_events", buffered_before - len(self._buffer))
                 sp.count("fluent_pairs", len(kept))
                 sp.count(
                     "fluent_intervals", sum(len(ivs) for ivs in kept.values())
                 )
+                if self._derived_cache is not None:
+                    sp.count("cached_fvps", len(self._derived_cache))
             return self._result
 
-    def _advance_sharded(
+    def _advance_full(
         self,
-        stream: EventStream,
         input_fluents: InputFluents,
         window_start: int,
         query_time: int,
-    ) -> Optional[Tuple[Dict[Term, int], Dict[Term, int]]]:
-        """Evaluate one window over entity shards; ``None`` falls back to
-        the sequential path (non-shardable description, or nothing to fan
-        out)."""
+    ) -> int:
+        """Recompute the whole window ``(window_start, query_time]``.
+
+        The oracle path: always sound, and the one that (re)builds the
+        derivation cache the delta path repairs. Returns the number of
+        events evaluated (for telemetry).
+        """
+        stream = EventStream(
+            event for event in self._buffer if window_start < event.time <= query_time
+        )
+        capture: Optional[Dict[Term, IntervalList]] = (
+            {}
+            if self.incremental and not self.engine.delta_diagnostics()
+            else None
+        )
+        carried: Optional[Tuple[Dict[Term, int], Dict[Term, int]]] = None
+        if self.jobs is not None and self.jobs != 1:
+            carried = self._advance_sharded(
+                stream, input_fluents, window_start, query_time, capture
+            )
+        if carried is None:
+            carried = self.engine._process_window(
+                stream,
+                input_fluents,
+                window_start,
+                query_time,
+                self._result,
+                pending=self._pending,
+                barriers=self._barriers,
+                include_initially=self._first_advance,
+                merge_from=self._last_query,
+                capture=capture,
+            )
+        self._pending, self._barriers = carried
+        if capture is not None:
+            # Input-fluent entries are rebuilt from the session's own
+            # storage on every advance; caching them would only shadow
+            # fresher deliveries.
+            self._derived_cache = {
+                pair: intervals
+                for pair, intervals in capture.items()
+                if pair not in input_fluents
+            }
+        else:
+            self._derived_cache = None
+        return len(stream)
+
+    def _advance_delta(
+        self,
+        input_fluents: InputFluents,
+        window_start: int,
+        query_time: int,
+    ) -> int:
+        """Advance by repairing cached derivations from the delta events.
+
+        Only called when the delta path is sound (see :meth:`advance`).
+        Returns the number of delta events evaluated.
+        """
+        assert self._last_query is not None and self._derived_cache is not None
+        lower = max(window_start, self._last_query)
+        delta_stream = EventStream(
+            event for event in self._buffer if lower < event.time <= query_time
+        )
+        carried: Optional[
+            Tuple[Dict[Term, int], Dict[Term, int], Dict[Term, IntervalList]]
+        ] = None
+        if self.jobs is not None and self.jobs != 1:
+            carried = self._advance_sharded_delta(
+                delta_stream, input_fluents, window_start, query_time
+            )
+        if carried is None:
+            carried = self.engine._process_window_delta(
+                delta_stream,
+                input_fluents,
+                window_start,
+                query_time,
+                self._result,
+                self._pending,
+                self._barriers,
+                self._derived_cache,
+                self._last_query,
+            )
+        self._pending, self._barriers, cache = carried
+        self._derived_cache = {
+            pair: intervals
+            for pair, intervals in cache.items()
+            if pair not in input_fluents
+        }
+        return len(delta_stream)
+
+    def _shardable_analysis(self):
+        """The partitionability analysis, or ``None`` (with a one-shot
+        warning) when the description cannot be entity-sharded."""
         analysis = self.engine.description.partitionability()
         if not analysis.shardable:
             if not self._shard_warning_issued:
@@ -230,9 +381,25 @@ class RTECSession:
                     "event description is not entity-shardable; the session "
                     "advances sequentially: " + "; ".join(analysis.diagnostics)
                 )
-                warnings.warn(message, RuntimeWarning, stacklevel=3)
+                warnings.warn(message, RuntimeWarning, stacklevel=4)
                 self.engine.runtime_warnings.append(message)
                 self._shard_warning_issued = True
+            return None
+        return analysis
+
+    def _advance_sharded(
+        self,
+        stream: EventStream,
+        input_fluents: InputFluents,
+        window_start: int,
+        query_time: int,
+        capture: Optional[Dict[Term, IntervalList]] = None,
+    ) -> Optional[Tuple[Dict[Term, int], Dict[Term, int]]]:
+        """Evaluate one window over entity shards; ``None`` falls back to
+        the sequential path (non-shardable description, or nothing to fan
+        out)."""
+        analysis = self._shardable_analysis()
+        if analysis is None:
             return None
         initials = (
             self.engine.description.initial_fvps if self._first_advance else []
@@ -257,30 +424,24 @@ class RTECSession:
         for index, shard in enumerate(shards):
             for entity in shard.entities:
                 entity_shard[entity] = index
-        shard_pending: List[Dict[Term, int]] = [dict() for _ in shards]
-        global_pending: Dict[Term, int] = {}
-        for pair, started in self._pending.items():
-            entities = analysis.fvp_entities(pair)
-            if entities:
-                shard_pending[entity_shard[entities[0]]][pair] = started
-            else:
-                global_pending[pair] = started
-        shard_barriers: List[Dict[Term, int]] = [dict() for _ in shards]
-        global_barriers: Dict[Term, int] = {}
-        for pair, barrier in self._barriers.items():
-            entities = analysis.fvp_entities(pair)
-            if entities:
-                shard_barriers[entity_shard[entities[0]]][pair] = barrier
-            else:
-                global_barriers[pair] = barrier
+        shard_pending, global_pending = split_fvp_state(
+            self._pending, analysis, entity_shard, len(shards)
+        )
+        shard_barriers, global_barriers = split_fvp_state(
+            self._barriers, analysis, entity_shard, len(shards)
+        )
 
         include_initially = self._first_advance
         merge_from = self._last_query
         base_engine = self.engine
 
-        def run_shard(
-            index: int,
-        ) -> Tuple[RecognitionResult, Dict[Term, int], Dict[Term, int], List[str]]:
+        def run_shard(index: int) -> Tuple[
+            RecognitionResult,
+            Dict[Term, int],
+            Dict[Term, int],
+            Optional[Dict[Term, IntervalList]],
+            List[str],
+        ]:
             shard = shards[index]
             shard_engine = base_engine
             if initials or global_initials:
@@ -300,6 +461,9 @@ class RTECSession:
             result = RecognitionResult()
             sub_fluents = dict(shard.fluents)
             sub_fluents.update(global_fluents)
+            shard_capture: Optional[Dict[Term, IntervalList]] = (
+                {} if capture is not None else None
+            )
             opened, closed = shard_engine._process_window(
                 EventStream(shard.events + global_events),
                 InputFluents(sub_fluents),
@@ -310,11 +474,12 @@ class RTECSession:
                 barriers=barriers,
                 include_initially=include_initially,
                 merge_from=merge_from,
+                capture=shard_capture,
             )
             shard_warnings = (
                 shard_engine.runtime_warnings if shard_engine is not base_engine else []
             )
-            return result, opened, closed, shard_warnings
+            return result, opened, closed, shard_capture, shard_warnings
 
         from repro.rtec.parallel import shard_pool
 
@@ -322,13 +487,120 @@ class RTECSession:
         outcomes = list(shard_pool(workers).map(run_shard, range(len(shards))))
         next_pending: Dict[Term, int] = {}
         next_barriers: Dict[Term, int] = {}
-        for result, opened, closed, shard_warnings in outcomes:
+        for result, opened, closed, shard_capture, shard_warnings in outcomes:
             for pair, intervals in result.items():
                 self._result.merge(pair, intervals)
             next_pending.update(opened)
             next_barriers.update(closed)
+            if capture is not None and shard_capture is not None:
+                # Global FVPs are derived identically by every shard, so
+                # the overlapping updates are idempotent.
+                capture.update(shard_capture)
             self.engine.runtime_warnings.extend(shard_warnings)
         return next_pending, next_barriers
+
+    def _advance_sharded_delta(
+        self,
+        delta_stream: EventStream,
+        input_fluents: InputFluents,
+        window_start: int,
+        query_time: int,
+    ) -> Optional[
+        Tuple[Dict[Term, int], Dict[Term, int], Dict[Term, IntervalList]]
+    ]:
+        """Delta-advance over entity shards; ``None`` falls back to the
+        sequential delta path.
+
+        The delta stream, the retained input fluents, and every piece of
+        carried state (open initiations, deadline barriers, the derivation
+        cache) are split by entity component; each shard repairs its own
+        derivations from its slice of the delta. Entities that produced no
+        delta event still own carried state, so they are kept alive via
+        ``extra_entities`` — otherwise their open intervals would silently
+        vanish from the window.
+        """
+        assert self._derived_cache is not None
+        analysis = self._shardable_analysis()
+        if analysis is None:
+            return None
+        carried_entities = [
+            analysis.fvp_entities(pair)
+            for pair in (
+                list(self._pending)
+                + list(self._barriers)
+                + list(self._derived_cache)
+            )
+        ]
+        shards, global_events, global_fluents, _global_initials = partition_input(
+            delta_stream,
+            input_fluents,
+            analysis,
+            extra_entities=[ents for ents in carried_entities if ents],
+        )
+        if len(shards) <= 1:
+            return None
+        entity_shard: Dict[Term, int] = {}
+        for index, shard in enumerate(shards):
+            for entity in shard.entities:
+                entity_shard[entity] = index
+        shard_pending, global_pending = split_fvp_state(
+            self._pending, analysis, entity_shard, len(shards)
+        )
+        shard_barriers, global_barriers = split_fvp_state(
+            self._barriers, analysis, entity_shard, len(shards)
+        )
+        shard_caches, global_cache = split_fvp_state(
+            self._derived_cache, analysis, entity_shard, len(shards)
+        )
+
+        merge_from = self._last_query
+        engine = self.engine
+
+        def run_shard(index: int) -> Tuple[
+            RecognitionResult,
+            Dict[Term, int],
+            Dict[Term, int],
+            Dict[Term, IntervalList],
+        ]:
+            shard = shards[index]
+            pending = dict(shard_pending[index])
+            pending.update(global_pending)
+            barriers = dict(shard_barriers[index])
+            barriers.update(global_barriers)
+            cache = dict(shard_caches[index])
+            cache.update(global_cache)
+            sub_fluents = dict(shard.fluents)
+            sub_fluents.update(global_fluents)
+            result = RecognitionResult()
+            opened, closed, next_cache = engine._process_window_delta(
+                EventStream(shard.events + global_events),
+                InputFluents(sub_fluents),
+                window_start,
+                query_time,
+                result,
+                pending,
+                barriers,
+                cache,
+                merge_from,
+            )
+            return result, opened, closed, next_cache
+
+        from repro.rtec.parallel import shard_pool
+
+        workers = min(self.jobs or 1, len(shards))
+        outcomes = list(shard_pool(workers).map(run_shard, range(len(shards))))
+        next_pending: Dict[Term, int] = {}
+        next_barriers: Dict[Term, int] = {}
+        next_cache: Dict[Term, IntervalList] = {}
+        for result, opened, closed, shard_cache in outcomes:
+            for pair, intervals in result.items():
+                self._result.merge(pair, intervals)
+            next_pending.update(opened)
+            next_barriers.update(closed)
+            # Per-shard derivations of global FVPs coincide, so the
+            # overlapping cache updates are idempotent.
+            next_cache.update(shard_cache)
+        return next_pending, next_barriers, next_cache
 
     # -- checkpointing -----------------------------------------------------------
 
@@ -350,6 +622,12 @@ class RTECSession:
             result=RecognitionResult(dict(self._result.items())),
             last_query=self._last_query,
             first_advance=self._first_advance,
+            derived_cache=(
+                dict(self._derived_cache)
+                if self._derived_cache is not None
+                else None
+            ),
+            stale=self._stale,
         )
 
     def restore(self, snapshot: SessionSnapshot) -> None:
@@ -372,6 +650,12 @@ class RTECSession:
         self._result = RecognitionResult(dict(snapshot.result.items()))
         self._last_query = snapshot.last_query
         self._first_advance = snapshot.first_advance
+        self._derived_cache = (
+            dict(snapshot.derived_cache)
+            if snapshot.derived_cache is not None
+            else None
+        )
+        self._stale = snapshot.stale
 
     @classmethod
     def from_snapshot(
@@ -379,9 +663,10 @@ class RTECSession:
         engine: RTECEngine,
         snapshot: SessionSnapshot,
         jobs: Optional[int] = None,
+        incremental: bool = True,
     ) -> "RTECSession":
         """A fresh session continuing from ``snapshot`` (restart path)."""
-        session = cls(engine, snapshot.window, jobs=jobs)
+        session = cls(engine, snapshot.window, jobs=jobs, incremental=incremental)
         session.restore(snapshot)
         return session
 

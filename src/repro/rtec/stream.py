@@ -136,14 +136,31 @@ class EventStream:
 
     @staticmethod
     def _insert_bucket(bucket: List[Event], times: List[int], event: Event) -> None:
-        """Insert into one (events, times) index pair, O(1) at the tail."""
-        if not times or event.time >= times[-1]:
+        """Insert into one (events, times) index pair, O(1) at the tail.
+
+        Buckets inherit the global ``(time, repr(term))`` sort from the
+        constructor, so an out-of-order append must position same-time
+        events by term representation too — placing by time alone would
+        make an appended stream iterate its buckets in a different order
+        than a freshly constructed one, breaking the invariant that a
+        stream's contents, not its ingest history, determine evaluation.
+        """
+        if not times or event.time > times[-1]:
             bucket.append(event)
             times.append(event.time)
-        else:
-            position = bisect_right(times, event.time)
-            bucket.insert(position, event)
-            times.insert(position, event.time)
+            return
+        # Position among the same-time run by repr, mirroring the
+        # constructor's sort key; the run is short in practice.
+        lo = bisect_left(times, event.time)
+        hi = bisect_right(times, event.time)
+        position = hi
+        representation = repr(event.term)
+        for index in range(lo, hi):
+            if repr(bucket[index].term) > representation:
+                position = index
+                break
+        bucket.insert(position, event)
+        times.insert(position, event.time)
 
     @property
     def min_time(self) -> Optional[int]:

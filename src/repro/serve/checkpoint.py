@@ -3,7 +3,11 @@
 A checkpoint is one JSON file holding a :class:`~repro.rtec.session.SessionSnapshot`
 plus the bookkeeping a restart needs:
 
-* ``version`` — the checkpoint format version (currently 1);
+* ``version`` — the checkpoint format version (currently 2; version 2
+  added the delta derivation cache and staleness flag of incremental
+  window evaluation — version-1 files still load, restoring without a
+  cache so the first advance after restart recomputes the full window
+  and rebuilds it);
 * ``session`` — the session name;
 * ``windows`` — how many windows the session had advanced (also the file's
   monotonically increasing sequence number);
@@ -44,6 +48,7 @@ from repro.rtec.stream import Event
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "COMPATIBLE_VERSIONS",
     "Checkpoint",
     "CheckpointError",
     "description_hash",
@@ -55,7 +60,12 @@ __all__ = [
     "write_checkpoint",
 ]
 
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
+
+#: Older format versions :func:`load_checkpoint` still accepts. Version 1
+#: lacks the ``cache``/``stale`` snapshot fields; restoring yields a
+#: cache-less session whose next advance falls back to full recomputation.
+COMPATIBLE_VERSIONS = frozenset({1, CHECKPOINT_VERSION})
 
 
 class CheckpointError(RuntimeError):
@@ -108,6 +118,17 @@ def snapshot_to_dict(snapshot: SessionSnapshot) -> Dict[str, object]:
         "result": snapshot.result.to_dict(),
         "last_query": snapshot.last_query,
         "first_advance": snapshot.first_advance,
+        "cache": (
+            None
+            if snapshot.derived_cache is None
+            else {
+                term_to_str(pair): [[iv.start, iv.end] for iv in intervals]
+                for pair, intervals in sorted(
+                    snapshot.derived_cache.items(), key=lambda kv: term_to_str(kv[0])
+                )
+            }
+        ),
+        "stale": snapshot.stale,
     }
 
 
@@ -131,6 +152,18 @@ def snapshot_from_dict(data: Dict[str, object]) -> SessionSnapshot:
         for text, barrier in dict(data.get("barriers", {})).items()  # type: ignore[arg-type]
     }
     last_query = data.get("last_query")
+    # "cache" is absent in version-1 checkpoints (pre-incremental): the
+    # restored session has no derivation cache and its first advance falls
+    # back to a full-window recomputation, which rebuilds one.
+    raw_cache = data.get("cache")
+    derived_cache: Optional[Dict[Term, IntervalList]] = None
+    if raw_cache is not None:
+        derived_cache = {
+            parse_term(text): IntervalList(
+                (int(start), int(end)) for start, end in pairs
+            )
+            for text, pairs in dict(raw_cache).items()  # type: ignore[arg-type]
+        }
     return SessionSnapshot(
         window=int(data["window"]),  # type: ignore[arg-type]
         buffer=buffer,
@@ -140,6 +173,8 @@ def snapshot_from_dict(data: Dict[str, object]) -> SessionSnapshot:
         result=RecognitionResult.from_dict(data.get("result", {})),  # type: ignore[arg-type]
         last_query=None if last_query is None else int(last_query),  # type: ignore[arg-type]
         first_advance=bool(data.get("first_advance", False)),
+        derived_cache=derived_cache,
+        stale=bool(data.get("stale", False)),
     )
 
 
@@ -229,10 +264,10 @@ def load_checkpoint(path: str) -> Checkpoint:
     except (OSError, ValueError) as exc:
         raise CheckpointError("cannot read checkpoint %s: %s" % (path, exc))
     version = payload.get("version")
-    if version != CHECKPOINT_VERSION:
+    if version not in COMPATIBLE_VERSIONS:
         raise CheckpointError(
-            "checkpoint %s has format version %r; this build reads version %d"
-            % (path, version, CHECKPOINT_VERSION)
+            "checkpoint %s has format version %r; this build reads versions %s"
+            % (path, version, sorted(COMPATIBLE_VERSIONS))
         )
     try:
         return Checkpoint(

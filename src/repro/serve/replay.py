@@ -264,6 +264,7 @@ def drive_reference_session(
     step: int,
     end: Optional[int] = None,
     jobs: Optional[int] = None,
+    incremental: bool = False,
 ) -> RecognitionResult:
     """An uninterrupted :class:`RTECSession` run under the service's policy.
 
@@ -271,8 +272,11 @@ def drive_reference_session(
     time order with advances at every step-grid boundary their timestamps
     cross, then a grid-walked final advance to ``end`` (default: the last
     event time). The serving tests compare served output against this.
+    ``incremental`` defaults to off — the reference is the full-window
+    recomputation oracle, so comparing a served (incremental) run against
+    it is also a cross-mode equality check of the delta evaluation.
     """
-    session = RTECSession(engine, window, jobs=jobs)
+    session = RTECSession(engine, window, jobs=jobs, incremental=incremental)
     next_query: Optional[int] = None
 
     def grid_after(time: int) -> int:

@@ -73,6 +73,9 @@ class SessionConfig:
     checkpoint_every: int = 0
     #: Keep at most this many checkpoint files per session (None: all).
     checkpoint_keep: Optional[int] = None
+    #: Incremental (delta) window evaluation (``RTECSession(incremental=)``).
+    #: Off forces full-window recomputation on every advance (the oracle).
+    incremental: bool = True
 
     def resolved_step(self) -> int:
         step = self.window if self.step is None else self.step
@@ -119,7 +122,9 @@ class ManagedSession:
         self.config = config
         self.checkpoint_dir = checkpoint_dir
         self.step = config.resolved_step()
-        self.session = RTECSession(engine, config.window, jobs=config.jobs)
+        self.session = RTECSession(
+            engine, config.window, jobs=config.jobs, incremental=config.incremental
+        )
         self.description_digest = checkpointing.description_hash(engine.description)
         self.counters = _Counters()
         self.next_query: Optional[int] = None

@@ -107,6 +107,30 @@ class TestDeadlineBarriers:
         assert open_start is None
         assert deadline_close is None
 
+    def test_multiple_deadline_closes_report_the_maximum(self):
+        # Three periods in one window: the first two closed by their
+        # deadlines, the last by an explicit termination. The single
+        # reported barrier must be the *maximum* deadline close so it
+        # covers every deadline-closed period of the window.
+        intervals, open_start, deadline_close = pair_intervals(
+            [0, 10, 20], [25], open_end=40, max_duration=7
+        )
+        assert intervals.as_pairs() == [(1, 7), (11, 17), (21, 25)]
+        assert open_start is None
+        assert deadline_close == 17
+
+    def test_single_barrier_covers_every_deadline_closed_period(self):
+        # Next-window view of the scenario above after the anchors at 0
+        # and 10 were forgotten: intermediate initiations of *both*
+        # deadline-closed periods survive, and the one carried barrier
+        # must suppress them all — none may re-anchor a phantom period.
+        intervals, open_start, deadline_close = pair_intervals(
+            [1, 2, 11, 12], [], open_end=40, max_duration=7, closed_until=17
+        )
+        assert not intervals
+        assert open_start is None
+        assert deadline_close is None
+
 
 class TestPairingProperties:
     @given(

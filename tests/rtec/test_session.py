@@ -295,3 +295,162 @@ class TestSnapshot:
         assert resumed.holds_for("f(v1)=true").as_pairs() == (
             session.holds_for("f(v1)=true").as_pairs()
         )
+
+    def test_snapshot_carries_deadline_barriers_across_restore(self):
+        text = RULES + "\nmaxDuration(f(V)=true, 7)."
+
+        def make():
+            return RTECEngine(EventDescription.from_text(text), strict=False)
+
+        driver = RTECSession(make(), window=25)
+        # Anchor at 1, intermediate initiation at 6: one period (1, 8]
+        # closed by the deadline. In the next window the anchor falls
+        # outside while the intermediate survives; only the carried
+        # barrier stops it from re-anchoring a phantom period — and the
+        # barrier must survive the snapshot/restore in between.
+        driver.submit([_event(1, "start(v1)"), _event(6, "start(v1)")])
+        driver.advance(10)
+        assert driver.holds_for("f(v1)=true").as_pairs() == [(2, 8)]
+        resumed = RTECSession.from_snapshot(make(), driver.snapshot())
+        for session in (driver, resumed):
+            session.advance(30)
+        assert driver.holds_for("f(v1)=true").as_pairs() == [(2, 8)]
+        assert resumed.result.to_json() == driver.result.to_json()
+
+    def test_restore_without_cache_falls_back_then_rebuilds(self):
+        # A snapshot from a version-1 checkpoint restores with no
+        # derivation cache: the next advance recomputes the full window
+        # (same results) and rebuilds the cache for the advances after it.
+        driver = RTECSession(_engine(), window=20)
+        driver.submit([_event(5, "start(v1)")])
+        driver.advance(10)
+        snapshot = driver.snapshot()
+        snapshot.derived_cache = None
+        resumed = RTECSession.from_snapshot(_engine(), snapshot)
+        tail = [_event(15, "stop(v1)")]
+        for session in (driver, resumed):
+            session.submit(tail)
+            session.advance(20)
+            session.advance(28)
+        assert resumed.result.to_json() == driver.result.to_json()
+        assert resumed._derived_cache is not None
+
+
+class TestSameQueryIdempotence:
+    def test_repeated_advance_is_a_noop(self):
+        session = RTECSession(_engine(), window=20)
+        session.submit([_event(5, "start(v1)")])
+        first = session.advance(10)
+        assert session.advance(10) is first
+        assert session.holds_for("f(v1)=true").as_pairs() == [(6, 10)]
+
+    def test_repeated_advance_leaves_the_result_unchanged(self):
+        session = RTECSession(_engine(), window=20)
+        session.submit([_event(5, "start(v1)")])
+        session.advance(10)
+        before = session.result.to_json()
+        for _ in range(3):
+            session.advance(10)
+        assert session.result.to_json() == before
+
+    def test_events_between_equal_advances_are_not_lost(self):
+        session = RTECSession(_engine(), window=20)
+        session.submit([_event(5, "start(v1)")])
+        session.advance(10)
+        session.submit([_event(15, "stop(v1)")])
+        session.advance(10)  # no-op; the buffered event stays queued
+        session.advance(20)
+        assert session.holds_for("f(v1)=true").as_pairs() == [(6, 15)]
+
+    def test_smaller_query_time_still_rejected(self):
+        session = RTECSession(_engine(), window=20)
+        session.advance(10)
+        with pytest.raises(ValueError):
+            session.advance(9)
+
+
+class TestIncrementalEquivalence:
+    """The delta path is byte-equal to full recomputation (the oracle)."""
+
+    _streams = st.lists(
+        st.tuples(
+            st.integers(0, 80),
+            st.sampled_from(("start", "stop")),
+            st.sampled_from(("v1", "v2")),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+
+    @staticmethod
+    def _run(events, delays, queries, window, incremental, restore_at=None):
+        """Drive a session over ``queries``; event i is submitted before the
+        first advance whose query time reaches it, one advance later when
+        ``delays[i]`` (a late arrival the delta path must not miss)."""
+
+        def slot(event):
+            return next(
+                index for index, q in enumerate(queries) if q >= event.time
+            )
+
+        session = RTECSession(_engine(), window=window, incremental=incremental)
+        for index, query_time in enumerate(queries):
+            batch = [
+                event
+                for event, delayed in zip(events, delays)
+                if slot(event) + (1 if delayed else 0) == index
+            ]
+            session.submit(batch)
+            session.advance(query_time)
+            if incremental:
+                session.advance(query_time)  # idempotent repeat
+            if restore_at == index:
+                session = RTECSession.from_snapshot(
+                    _engine(), session.snapshot(), incremental=incremental
+                )
+        return session.result.to_json()
+
+    @given(
+        raw=_streams,
+        delays=st.lists(st.booleans(), min_size=20, max_size=20),
+        window=st.integers(5, 100),
+        step=st.integers(1, 5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_matches_full_recomputation(self, raw, delays, window, step):
+        """Random streams, window/step grids, seeded late-arrival mutations
+        and kill-and-restore all land on the oracle's bytes."""
+        events = [_event(t, "%s(%s)" % (name, vessel)) for t, name, vessel in raw]
+        end = max(event.time for event in events)
+        queries = list(range(step, end + step + 1, step))
+        expected = self._run(events, delays, queries, window, incremental=False)
+        assert self._run(events, delays, queries, window, incremental=True) == expected
+        assert (
+            self._run(
+                events,
+                delays,
+                queries,
+                window,
+                incremental=True,
+                restore_at=len(queries) // 2,
+            )
+            == expected
+        )
+
+    def test_sharded_delta_matches_sequential_full(self):
+        events = []
+        for base, vessel in ((0, "v1"), (3, "v2")):
+            for start in range(base, 70, 12):
+                events.append(_event(start, "start(%s)" % vessel))
+                events.append(_event(start + 5, "stop(%s)" % vessel))
+        delays = [False] * len(events)
+        queries = list(range(10, 90, 10))
+        expected = self._run(events, delays, queries, 30, incremental=False)
+        sharded = RTECSession(_engine(), window=30, jobs=2, incremental=True)
+        for index, query_time in enumerate(queries):
+            sharded.submit(
+                [e for e, d in zip(events, delays)
+                 if next(i for i, q in enumerate(queries) if q >= e.time) == index]
+            )
+            sharded.advance(query_time)
+        assert sharded.result.to_json() == expected

@@ -1,6 +1,8 @@
 """Unit tests for event streams and input fluents."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.intervals import IntervalList
 from repro.logic.parser import parse_term
@@ -156,3 +158,53 @@ class TestAppend:
             stream.append(_event(t, "alarm"))
         assert [e.time for e in stream.events_in_window("alarm", 0, 3, 10)] == [4, 9]
         assert stream.count_in_window(3, 10) == 2
+
+    def test_same_time_late_append_keeps_index_order(self):
+        # A late append at a timestamp that already has events must land at
+        # the position the global (time, term) order dictates, in the
+        # per-functor and per-entity indexes as well as the main sequence.
+        events = [
+            _event(4, "speed(v2, 3)"),
+            _event(4, "speed(v1, 9)"),
+            _event(4, "speed(v1, 1)"),
+        ]
+        incremental = EventStream(events[:2])
+        incremental.append(events[2])
+        self._assert_equivalent(incremental, EventStream(events))
+
+
+class TestAppendProperties:
+    _TEXTS = ("speed(v1, 1)", "speed(v1, 7)", "speed(v2, 3)", "entersArea(v1, a1)", "alarm")
+    _raw = st.lists(
+        st.tuples(st.integers(0, 30), st.sampled_from(_TEXTS)),
+        max_size=25,
+    )
+
+    @given(raw=_raw, split=st.integers(0, 25))
+    @settings(max_examples=150, deadline=None)
+    def test_mixed_construction_and_append_orders_agree(self, raw, split):
+        """A stream grown by any mix of batch construction, in-order appends
+        and late (out-of-order) appends — including repeats of an existing
+        timestamp — is indistinguishable from building it in one shot: same
+        iteration order, and same answers from the time, functor and entity
+        indexes."""
+        events = [_event(t, text) for t, text in raw]
+        incremental = EventStream(events[:split])
+        for event in events[split:]:
+            incremental.append(event)
+        batch = EventStream(events)
+        assert list(incremental) == list(batch)
+        assert incremental.count_in_window(-1, 31) == batch.count_in_window(-1, 31)
+        for functor, arity in batch.functors():
+            assert list(incremental.events_in_window(functor, arity, -1, 31)) == (
+                list(batch.events_in_window(functor, arity, -1, 31))
+            )
+        vessel = parse_term("v1")
+        assert list(incremental.events_in_window("speed", 2, -1, 31, first=vessel)) == (
+            list(batch.events_in_window("speed", 2, -1, 31, first=vessel))
+        )
+        for time in sorted({event.time for event in events}):
+            for functor, arity in batch.functors():
+                assert list(incremental.events_at(functor, arity, time)) == (
+                    list(batch.events_at(functor, arity, time))
+                )

@@ -143,3 +143,47 @@ class TestCheckpointFiles:
         )
         assert description_hash(one) == description_hash(EventDescription.from_text(RULES))
         assert description_hash(one) != description_hash(other)
+
+
+class TestVersionCompatibility:
+    def test_round_trip_preserves_derivation_cache(self):
+        session = _session_with_state()
+        snapshot = session.snapshot()
+        assert snapshot.derived_cache is not None
+        restored = snapshot_from_dict(snapshot_to_dict(snapshot))
+        assert restored.stale == snapshot.stale
+        assert restored.derived_cache is not None
+        assert {
+            pair: intervals.as_pairs()
+            for pair, intervals in restored.derived_cache.items()
+        } == {
+            pair: intervals.as_pairs()
+            for pair, intervals in snapshot.derived_cache.items()
+        }
+
+    def test_version_1_checkpoint_still_loads_and_continues(self, tmp_path):
+        # Doctor a current checkpoint back into the version-1 shape (no
+        # cache/stale fields): it must load, restore as a cache-less
+        # session, and continue byte-identically to an uninterrupted run
+        # (its first advance falls back to full-window recomputation).
+        session = _session_with_state()
+        digest = description_hash(session.engine.description)
+        path = write_checkpoint(
+            str(tmp_path), "s0", session.snapshot(),
+            applied=3, windows=1, description_digest=digest,
+        )
+        payload = json.loads(open(path).read())
+        payload["version"] = 1
+        del payload["snapshot"]["cache"]
+        del payload["snapshot"]["stale"]
+        open(path, "w").write(json.dumps(payload))
+        loaded = load_checkpoint(path)
+        assert loaded.snapshot.derived_cache is None
+        assert loaded.snapshot.stale is False
+        resumed = RTECSession.from_snapshot(_engine(), loaded.snapshot)
+        tail = [Event(25, parse_term("stop(v1)"))]
+        for target in (session, resumed):
+            target.submit(tail)
+            target.advance(30)
+            target.advance(38)
+        assert resumed.result.to_json() == session.result.to_json()

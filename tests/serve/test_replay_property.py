@@ -42,6 +42,40 @@ def fleet_service():
     return workload, engine_factory, baseline.merged.to_json()
 
 
+def test_incremental_and_full_serving_agree(fleet_service):
+    """The served baseline (incremental by default) is byte-equal to a
+    service forced to recompute the full window on every advance."""
+    workload, engine_factory, expected = fleet_service
+    outcome = asyncio.run(run_replay(
+        engine_factory,
+        workload,
+        SessionConfig(window=_WINDOW, step=_STEP, incremental=False),
+    ))
+    assert outcome.merged.to_json() == expected
+
+
+def test_crash_and_restore_with_incremental_sessions(fleet_service):
+    """Kill-and-restore drill with the delta path on: the restored
+    sessions repair their caches from the checkpoint and still match."""
+    workload, engine_factory, expected = fleet_service
+    checkpoint_dir = tempfile.mkdtemp(prefix="repro-serve-delta-")
+    try:
+        outcome = asyncio.run(run_replay(
+            engine_factory,
+            workload,
+            SessionConfig(
+                window=_WINDOW, step=_STEP, checkpoint_every=2, incremental=True
+            ),
+            checkpoint_dir=checkpoint_dir,
+            kill_at=0.6,
+            verify=True,
+        ))
+    finally:
+        shutil.rmtree(checkpoint_dir, ignore_errors=True)
+    assert outcome.merged.to_json() == expected
+    assert outcome.verified, outcome.verify_detail
+
+
 @settings(
     max_examples=8,
     deadline=None,
