@@ -1,0 +1,132 @@
+"""Interval-algebra micro-benchmarks: pure sweeps vs columnar numpy kernels.
+
+Times ``union_all`` / ``intersect_all`` / ``relative_complement_all`` on
+synthetic workloads of 10^2 to 10^5 intervals under both kernel backends
+(:mod:`repro.intervals.backend`) and enforces the PR's two perf gates:
+
+* **columnar speedup** — at the largest size every construct must run at
+  least ``SPEEDUP_FLOOR`` (2x) faster under the columnar backend;
+* **pure no-slower** — the pure-backend timings are registered as named
+  pytest-benchmark entries, so CI can upload the ``--benchmark-json``
+  artefact and fail a run whose pure path regressed against the stored
+  baseline (``--benchmark-compare-fail=min:25%``). In-process, the bench
+  additionally asserts the columnar backend never loses to pure once the
+  input is past the dispatch threshold.
+
+Run:  pytest benchmarks/bench_kernels.py --benchmark-only -s
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.intervals import (
+    IntervalList,
+    available_backends,
+    intersect_all,
+    relative_complement_all,
+    union_all,
+    use_backend,
+)
+
+SIZES = (100, 1_000, 10_000, 100_000)
+LARGEST = SIZES[-1]
+
+#: Required columnar-over-pure speedup at the largest size.
+SPEEDUP_FLOOR = 2.0
+
+requires_columnar = pytest.mark.skipif(
+    "columnar" not in available_backends(), reason="numpy unavailable"
+)
+
+
+def _make_lists(total, lists, seed, spread=8, max_len=12):
+    """``lists`` interval lists totalling ~``total`` intervals with partial
+    overlap (domain width scales with the total so density stays fixed)."""
+    rng = random.Random(seed)
+    per = max(1, total // lists)
+    out = []
+    for _ in range(lists):
+        starts = sorted(rng.randrange(0, total * spread) for _ in range(per))
+        out.append(IntervalList((s, s + rng.randrange(0, max_len)) for s in starts))
+    return out
+
+
+def _workloads(size):
+    union_input = _make_lists(size, 8, seed=42)
+    two = _make_lists(size, 2, seed=7)
+    base = _make_lists(size // 2, 1, seed=9)[0]
+    covered = _make_lists(size // 2, 4, seed=11)
+    return {
+        "union": lambda: union_all(union_input),
+        "intersect": lambda: intersect_all(two),
+        "complement": lambda: relative_complement_all(base, covered),
+    }
+
+
+def _best(op, repeat=5):
+    """Min-of-``repeat`` wall time — the stable micro-benchmark statistic."""
+    best = float("inf")
+    for _ in range(repeat):
+        started = time.perf_counter()
+        op()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+class TestUnionAcrossSizes:
+    """Named benchmark entries per (size, backend) for the JSON artefact."""
+
+    @pytest.mark.parametrize("size", SIZES)
+    @pytest.mark.parametrize("backend", ("pure", "columnar"))
+    def test_bench_union_all(self, benchmark, size, backend):
+        if backend == "columnar" and "columnar" not in available_backends():
+            pytest.skip("numpy unavailable")
+        op = _workloads(size)["union"]
+        with use_backend(backend):
+            op()  # warm-up: primes the lists' cached columns
+            benchmark.pedantic(op, rounds=3, iterations=1)
+        benchmark.extra_info["intervals"] = size
+        benchmark.extra_info["backend"] = backend
+
+
+class TestColumnarGates:
+    @requires_columnar
+    def test_speedup_floor_at_largest_size(self, benchmark, capsys):
+        benchmark.pedantic(lambda: None, rounds=1)
+        speedups = {}
+        for name, op in _workloads(LARGEST).items():
+            with use_backend("pure"):
+                pure = _best(op, repeat=3)
+            with use_backend("columnar"):
+                op()
+                columnar = _best(op, repeat=3)
+            speedups[name] = pure / columnar
+            benchmark.extra_info["%s_speedup" % name] = round(speedups[name], 1)
+        with capsys.disabled():
+            print("\n=== columnar speedup at %d intervals ===" % LARGEST)
+            for name, speedup in speedups.items():
+                print("  %-10s x%.1f" % (name, speedup))
+        for name, speedup in speedups.items():
+            assert speedup >= SPEEDUP_FLOOR, (
+                "%s: columnar is only x%.2f faster than pure at %d intervals "
+                "(floor: x%.1f)" % (name, speedup, LARGEST, SPEEDUP_FLOOR)
+            )
+
+    @requires_columnar
+    @pytest.mark.parametrize("size", [s for s in SIZES if s >= 1_000])
+    def test_columnar_never_loses_past_threshold(self, benchmark, size):
+        """Past the dispatch threshold the kernels must clearly win; small
+        inputs are not gated — they take the pure fast path by design."""
+        benchmark.pedantic(lambda: None, rounds=1)
+        for name, op in _workloads(size).items():
+            with use_backend("pure"):
+                pure = _best(op)
+            with use_backend("columnar"):
+                op()
+                columnar = _best(op)
+            assert columnar <= pure, (
+                "%s: columnar (%.5fs) slower than pure (%.5fs) at %d intervals"
+                % (name, columnar, pure, size)
+            )

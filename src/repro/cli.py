@@ -76,6 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run through the analysis-driven rule optimiser (equivalent "
         "detections, usually faster); prints the applied rewrites",
     )
+    _add_backend_argument(recognise)
 
     gen = sub.add_parser("generate", help="print one generated event description")
     gen.add_argument("--model", choices=MODEL_NAMES, default="o1")
@@ -127,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=10,
         help="show at most this many (slowest) children per span",
     )
+    _add_backend_argument(profile)
 
     lint = sub.add_parser(
         "lint",
@@ -309,6 +311,15 @@ def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
         help="recompute the full window on every advance instead of the "
         "incremental (delta) evaluation (the verification oracle)",
     )
+    _add_backend_argument(parser)
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", choices=("pure", "columnar"), default=None,
+        help="interval/event kernel backend (default: REPRO_KERNEL_BACKEND "
+        "or pure; columnar needs numpy)",
+    )
 
 
 def _cmd_fig2a(args: argparse.Namespace) -> int:
@@ -354,6 +365,7 @@ def _cmd_recognise(args: argparse.Namespace) -> int:
         window=args.window,
         jobs=args.jobs,
         optimise=args.optimise,
+        backend=args.backend,
     )
     if args.optimise:
         optimised = engine.optimised_for(dataset.input_fluents)
@@ -407,11 +419,12 @@ def _cmd_diff(args: argparse.Namespace) -> int:
 
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro import telemetry
+    from repro.intervals import use_backend
     from repro.rtec.session import RTECSession
 
     dataset = build_dataset(seed=args.seed, scale=args.scale, traffic=args.traffic)
     engine = RTECEngine(gold_event_description(), dataset.kb, dataset.vocabulary)
-    with telemetry.enabled() as tracer:
+    with use_backend(args.backend), telemetry.enabled() as tracer:
         if args.session:
             session = RTECSession(engine, window=args.window, jobs=args.jobs)
             for pair, intervals in dataset.input_fluents.items():
@@ -676,6 +689,7 @@ def _serving_config(args: argparse.Namespace):
         checkpoint_every=args.checkpoint_every,
         checkpoint_keep=args.checkpoint_keep,
         incremental=args.incremental,
+        backend=args.backend,
     )
 
 

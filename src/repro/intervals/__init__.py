@@ -7,6 +7,12 @@ constructs of the RTEC language: :func:`union_all`, :func:`intersect_all`
 and :func:`relative_complement_all` (Definition 2.4 of the paper).
 """
 
+from repro.intervals.backend import (
+    available_backends,
+    get_backend,
+    set_backend,
+    use_backend,
+)
 from repro.intervals.interval import Interval, IntervalList
 from repro.intervals.operations import (
     intersect_all,
@@ -22,4 +28,8 @@ __all__ = [
     "intersect_all",
     "relative_complement_all",
     "make_intervals_from_points",
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "use_backend",
 ]

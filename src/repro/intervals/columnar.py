@@ -1,0 +1,96 @@
+"""Vectorised numpy kernels for the interval constructs of Definition 2.4.
+
+Each kernel consumes the cached int64 ``(starts, ends)`` columns of its
+input :class:`~repro.intervals.interval.IntervalList` objects and returns a
+new list built with :meth:`IntervalList.from_arrays` — i.e. the outputs stay
+columnar and never materialise ``Interval`` objects unless a caller later
+iterates them.
+
+Correctness notes (each kernel's output is already normalised — sorted,
+disjoint, non-adjacent — so ``from_arrays`` can adopt it directly):
+
+* **union** — endpoint sweep: concatenate all columns, stable-argsort by
+  start, take the running maximum of ends; a new maximal interval begins
+  exactly where ``start[i] > running_max_end[i-1] + 1`` (the ``+ 1``
+  coalesces adjacent intervals, matching ``IntervalList._normalise``).
+* **intersection** — ``searchsorted`` pair clipping: for each interval of
+  ``a``, the overlapping run of ``b`` is ``[lo, hi)`` with
+  ``lo = searchsorted(b_ends, a_start)`` and
+  ``hi = searchsorted(b_starts, a_end, side="right")``; every pair clips to
+  ``[max(starts), min(ends)]``. Pairs are enumerated with the standard
+  ``repeat``/``cumsum`` trick. Since both inputs are normalised, consecutive
+  output intervals are separated by a gap of at least one point in one of
+  the inputs, so the output needs no re-normalisation.
+* **relative complement** — the gaps of the covering union (including the
+  flanks out to the base span) form a normalised list; intersecting them
+  with the base gives the complement.
+
+These kernels are only reached through the dispatchers in
+:mod:`repro.intervals.operations` when the ``columnar`` backend is active.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.intervals.interval import IntervalList
+
+__all__ = ["union_all_columnar", "intersect_two_columnar", "relative_complement_columnar"]
+
+
+def union_all_columnar(interval_lists: Sequence[IntervalList]) -> IntervalList:
+    """Union of two or more non-empty interval lists."""
+    columns = [il.columns() for il in interval_lists]
+    starts = np.concatenate([c[0] for c in columns])
+    ends = np.concatenate([c[1] for c in columns])
+    order = np.argsort(starts, kind="stable")
+    starts = starts[order]
+    ends = ends[order]
+    running_end = np.maximum.accumulate(ends)
+    breaks = np.empty(len(starts), dtype=bool)
+    breaks[0] = True
+    np.greater(starts[1:], running_end[:-1] + 1, out=breaks[1:])
+    first = np.flatnonzero(breaks)
+    last = np.empty(len(first), dtype=np.int64)
+    last[:-1] = first[1:] - 1
+    last[-1] = len(starts) - 1
+    return IntervalList.from_arrays(starts[first], running_end[last])
+
+
+def intersect_two_columnar(a: IntervalList, b: IntervalList) -> IntervalList:
+    """Pairwise intersection of two interval lists."""
+    if not a or not b:
+        return IntervalList.empty()
+    a_starts, a_ends = a.columns()
+    b_starts, b_ends = b.columns()
+    lo = np.searchsorted(b_ends, a_starts, side="left")
+    hi = np.searchsorted(b_starts, a_ends, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        return IntervalList.empty()
+    a_index = np.repeat(np.arange(len(a_starts)), counts)
+    run_offsets = np.cumsum(counts) - counts
+    b_index = np.arange(total) - np.repeat(run_offsets - lo, counts)
+    out_starts = np.maximum(a_starts[a_index], b_starts[b_index])
+    out_ends = np.minimum(a_ends[a_index], b_ends[b_index])
+    return IntervalList.from_arrays(out_starts, out_ends)
+
+
+def relative_complement_columnar(base: IntervalList, covered: IntervalList) -> IntervalList:
+    """Sub-intervals of non-empty ``base`` not covered by normalised ``covered``."""
+    if not covered:
+        return base
+    base_starts, base_ends = base.columns()
+    cov_starts, cov_ends = covered.columns()
+    span_lo = base_starts[0]
+    span_hi = base_ends[-1]
+    gap_starts = np.concatenate(([span_lo], cov_ends + 1))
+    gap_ends = np.concatenate((cov_starts - 1, [span_hi]))
+    keep = gap_starts <= gap_ends
+    if not keep.any():
+        return IntervalList.empty()
+    gaps = IntervalList.from_arrays(gap_starts[keep], gap_ends[keep])
+    return intersect_two_columnar(base, gaps)

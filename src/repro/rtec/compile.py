@@ -55,6 +55,7 @@ __all__ = [
     "compile_rule",
     "precompile_description",
     "rule_time_anchored",
+    "vector_filter",
 ]
 
 HAPPENS, HOLDS, COMPARE, BACKGROUND = range(4)
@@ -216,6 +217,39 @@ def compile_rule(rule: Rule) -> CompiledRule:
         hoisted=tuple(hoisted),
         body=tuple(body),
     )
+
+
+@lru_cache(maxsize=None)
+def vector_filter(plan: CompiledRule) -> Optional[Tuple[Literal, ...]]:
+    """The body as a batch comparison filter, or ``None`` when inapplicable.
+
+    A plan is *vector-filterable* when its seed binds by the fast path and
+    every remaining body condition is a comparison whose sides are plain
+    variables or numeric constants — the shape of threshold rules such as
+    ``initiatedAt(movingSpeed(V)=above, T) :- happensAt(velocity(V, S, M), T),
+    thresholds(hcNearCoastMax, Max), S > Max``. Such comparisons neither
+    bind variables nor touch the stream or fluent store, so the columnar
+    evaluator (:mod:`repro.rtec.simple`) can apply them as one boolean mask
+    over the seed bucket's value columns instead of per-event substitution
+    builds. Sides that are arithmetic compounds, unbound variables, or
+    non-numeric constants disqualify the plan — evaluation then falls back
+    to the per-event path so error behaviour stays identical.
+    """
+    if plan.seed_args is None or not plan.body:
+        return None
+    for compiled in plan.body:
+        if compiled.tag != COMPARE:
+            return None
+        term = compiled.literal.term
+        if not (isinstance(term, Compound) and term.arity == 2):
+            return None
+        for side in term.args:
+            if isinstance(side, Variable):
+                continue
+            if isinstance(side, Constant) and side.is_number:
+                continue
+            return None
+    return tuple(compiled.literal for compiled in plan.body)
 
 
 def rule_time_anchored(plan: CompiledRule) -> bool:

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro import telemetry
 from repro.intervals import IntervalList, union_all
+from repro.intervals import backend as kernel_backend
 from repro.logic.knowledge import KnowledgeBase
 from repro.logic.terms import Compound, Term
 from repro.rtec.description import EventDescription, Vocabulary, fluent_key
@@ -192,6 +193,7 @@ class RTECEngine:
         bounds: "Optional[tuple[int, int]]" = None,
         extend_first_window: Optional[bool] = None,
         optimise: bool = False,
+        backend: Optional[str] = None,
     ) -> RecognitionResult:
         """Detect all composite activities over ``stream``.
 
@@ -212,7 +214,24 @@ class RTECEngine:
         ``optimise=True`` runs the call through a cached clone built from
         :func:`repro.analysis.optimize.optimise_description` — equivalent
         detections (see the equivalence property tests), usually faster.
+
+        ``backend`` selects the kernel backend (``"pure"``/``"columnar"``,
+        see :mod:`repro.intervals.backend`) for the duration of the call;
+        ``None`` keeps the ambient process-wide backend. Both backends
+        produce byte-identical results.
         """
+        if backend is not None:
+            with kernel_backend.use_backend(backend):
+                return self.recognise(
+                    stream,
+                    input_fluents,
+                    window=window,
+                    step=step,
+                    jobs=jobs,
+                    bounds=bounds,
+                    extend_first_window=extend_first_window,
+                    optimise=optimise,
+                )
         if optimise:
             engine = self.optimised_for(input_fluents)
             return engine.recognise(

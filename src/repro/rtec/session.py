@@ -27,6 +27,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro import telemetry
 from repro.intervals import IntervalList, union_all
+from repro.intervals import backend as kernel_backend
 from repro.logic.terms import Term
 from repro.rtec.engine import RTECEngine
 from repro.rtec.parallel import split_fvp_state
@@ -104,6 +105,12 @@ class RTECSession:
         (:meth:`~repro.rtec.engine.RTECEngine.delta_diagnostics`). With
         ``incremental=False`` every advance recomputes the full window —
         retained as the oracle the incremental path is verified against.
+    backend:
+        Kernel backend name (``"pure"`` or ``"columnar"``) each advance
+        runs under (:mod:`repro.intervals.backend`); ``None`` (the
+        default) keeps the ambient process-wide backend, itself defaulting
+        to ``pure`` or the ``REPRO_KERNEL_BACKEND`` environment variable.
+        Both backends produce byte-identical results.
     """
 
     def __init__(
@@ -112,14 +119,23 @@ class RTECSession:
         window: int,
         jobs: Optional[int] = None,
         incremental: bool = True,
+        backend: Optional[str] = None,
     ) -> None:
         if window <= 0:
             raise ValueError("window size must be positive")
+        if backend is not None:
+            # Validate eagerly so a bad name fails at construction, not at
+            # the first advance.
+            with kernel_backend.use_backend(backend):
+                pass
         self.engine = engine
         self.window = window
         self.jobs = jobs
         self.incremental = incremental
-        self._buffer: List[Event] = []
+        self.backend = backend
+        #: Retained events, kept as a sorted, indexed stream so window and
+        #: delta evaluation slice it instead of filtering object lists.
+        self._buffer: EventStream = EventStream()
         #: Input-fluent intervals still reachable by a future window; merged
         #: on submission and clipped at each advance so storage is bounded
         #: by omega, like the event buffer.
@@ -205,6 +221,12 @@ class RTECSession:
         the buffer (Section 2: reasoning cost depends on omega, not on the
         stream size).
         """
+        if self.backend is None:
+            return self._advance(query_time)
+        with kernel_backend.use_backend(self.backend):
+            return self._advance(query_time)
+
+    def _advance(self, query_time: int) -> RecognitionResult:
         if self._last_query is not None:
             if query_time < self._last_query:
                 raise ValueError(
@@ -248,7 +270,7 @@ class RTECSession:
             # Forget: drop events, input-fluent points and cached derivation
             # points that no future window can reach, bounding session
             # memory by omega.
-            self._buffer = [event for event in self._buffer if event.time > horizon]
+            self._buffer = self._buffer.slice_window(horizon)
             kept: Dict[Term, IntervalList] = {}
             for pair, intervals in self._fluent_intervals.items():
                 clipped = self._clip_forgotten(intervals, horizon)
@@ -288,9 +310,7 @@ class RTECSession:
         derivation cache the delta path repairs. Returns the number of
         events evaluated (for telemetry).
         """
-        stream = EventStream(
-            event for event in self._buffer if window_start < event.time <= query_time
-        )
+        stream = self._buffer.slice_window(window_start, query_time)
         capture: Optional[Dict[Term, IntervalList]] = (
             {}
             if self.incremental and not self.engine.delta_diagnostics()
@@ -341,9 +361,7 @@ class RTECSession:
         """
         assert self._last_query is not None and self._derived_cache is not None
         lower = max(window_start, self._last_query)
-        delta_stream = EventStream(
-            event for event in self._buffer if lower < event.time <= query_time
-        )
+        delta_stream = self._buffer.slice_window(lower, query_time)
         carried: Optional[
             Tuple[Dict[Term, int], Dict[Term, int], Dict[Term, IntervalList]]
         ] = None
@@ -643,7 +661,7 @@ class RTECSession:
                 "snapshot window %d does not match session window %d"
                 % (snapshot.window, self.window)
             )
-        self._buffer = list(snapshot.buffer)
+        self._buffer = EventStream(snapshot.buffer)
         self._fluent_intervals = dict(snapshot.fluent_intervals)
         self._pending = dict(snapshot.pending)
         self._barriers = dict(snapshot.barriers)
@@ -664,9 +682,12 @@ class RTECSession:
         snapshot: SessionSnapshot,
         jobs: Optional[int] = None,
         incremental: bool = True,
+        backend: Optional[str] = None,
     ) -> "RTECSession":
         """A fresh session continuing from ``snapshot`` (restart path)."""
-        session = cls(engine, snapshot.window, jobs=jobs, incremental=incremental)
+        session = cls(
+            engine, snapshot.window, jobs=jobs, incremental=incremental, backend=backend
+        )
         session.restore(snapshot)
         return session
 

@@ -19,11 +19,13 @@ build whenever the seed pattern allows it.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import Counter, defaultdict
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro import telemetry
 from repro.intervals import IntervalList
+from repro.intervals import backend as kernel_backend
 from repro.intervals.pairing import pair_intervals
 from repro.logic.knowledge import KnowledgeBase
 from repro.logic.parser import Rule
@@ -44,6 +46,7 @@ from repro.rtec.compile import (
     CompiledLiteral,
     compile_rule,
     pattern_key as _pattern_key,
+    vector_filter,
 )
 from repro.rtec.description import SimpleFluentDef
 from repro.rtec.errors import EvaluationError
@@ -265,6 +268,37 @@ def rule_firing_points(
     fast = plan.seed_args is not None
     single_prefix = len(prefix) == 1
 
+    if fast and kernel_backend.columnar_active():
+        candidates = _vector_candidates(plan, prefix, stream, window_start, window_end)
+        if candidates is not None:
+            telemetry.count("kernel.rule_filter.columnar")
+            for event, p in candidates:
+                if plan.seed_args:
+                    merged = dict(zip(plan.seed_args, event.term.args))
+                else:
+                    merged = {}
+                merged[plan.seed_time_var] = intern_constant(event.time)
+                bindings = p._bindings
+                if bindings:
+                    base = dict(bindings)
+                    base.update(merged)
+                    merged = base
+                final = Substitution._wrap(merged)
+                pair = final.resolve(head_pair)
+                if require_ground and not is_ground(pair):
+                    raise EvaluationError(
+                        "head FVP %r not ground after body evaluation of %r"
+                        % (pair, rule.head)
+                    )
+                time_term = final.resolve(head_time)
+                if not isinstance(time_term, Constant) or not time_term.is_number:
+                    raise EvaluationError(
+                        "head time-point is not bound in %r" % (rule.head,)
+                    )
+                yield pair, int(time_term.value)
+            return
+        telemetry.count("kernel.rule_filter.fallback")
+
     for event in stream.events_in_window(
         plan.seed_key[0], plan.seed_key[1], window_start, window_end
     ):
@@ -312,6 +346,131 @@ def rule_firing_points(
                         "head time-point is not bound in %r" % (rule.head,)
                     )
                 yield pair, int(time_term.value)
+
+
+#: Marks a comparison side the columnar filter cannot evaluate exactly —
+#: unbound or non-numeric variables, or integers beyond float64 exactness.
+_FALLBACK = object()
+
+#: Integers beyond ±2**53 lose exactness as float64 (mirrors the column
+#: builder in :mod:`repro.rtec.stream`).
+_FLOAT64_EXACT_BOUND = 2**53
+
+#: Elementwise comparator semantics identical to ``builtins._COMPARATORS``:
+#: ``math.isclose(a, b, rel_tol=0.0, abs_tol=1e-9)`` is ``|a - b| <= 1e-9``
+#: computed in float64, which is exactly what the array expression does.
+_VECTOR_COMPARATORS = {
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "=<": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+    "=:=": lambda a, b: abs(a - b) <= 1e-9,
+    "=\\=": lambda a, b: abs(a - b) > 1e-9,
+}
+
+
+def _vector_candidates(plan, prefix, stream, window_start, window_end):
+    """The seed events passing the body's comparisons, as a batch mask.
+
+    Applies when the plan is vector-filterable (see
+    :func:`repro.rtec.compile.vector_filter`) and every comparison side
+    resolves to a float64-exact numeric column or scalar. Returns an
+    iterable of ``(event, prefix substitution)`` pairs in the order the
+    per-event path would produce them (events ascending, prefix solutions
+    in order), an empty tuple when nothing can fire, or ``None`` to fall
+    back to the per-event path — which then reproduces the pure backend's
+    behaviour, including its errors, exactly.
+    """
+    filters = vector_filter(plan)
+    if filters is None:
+        return None
+    info = stream.columns(plan.seed_key[0], plan.seed_key[1])
+    if info is None:
+        return ()
+    bucket, times, np_times, value_columns = info
+    lo = bisect_right(times, window_start)
+    hi = bisect_right(times, window_end)
+    if lo >= hi:
+        return ()
+    column_of = {var: index for index, var in enumerate(plan.seed_args)}
+    sliced: Dict[object, object] = {}
+
+    def side_value(term, subst):
+        if isinstance(term, Constant):
+            value = term.value
+        else:
+            position = column_of.get(term)
+            if position is not None:
+                column = value_columns[position]
+                if column is None:
+                    return _FALLBACK
+                array = sliced.get(position)
+                if array is None:
+                    array = column[lo:hi]
+                    sliced[position] = array
+                return array
+            if term == plan.seed_time_var:
+                array = sliced.get("time")
+                if array is None:
+                    array = np_times[lo:hi]
+                    sliced["time"] = array
+                return array
+            resolved = subst.resolve(term)
+            if not (isinstance(resolved, Constant) and resolved.is_number):
+                return _FALLBACK
+            value = resolved.value
+        if isinstance(value, int) and (
+            value > _FLOAT64_EXACT_BOUND or value < -_FLOAT64_EXACT_BOUND
+        ):
+            return _FALLBACK
+        return value
+
+    per_prefix = []
+    for p in prefix:
+        mask = None
+        for literal in filters:
+            comparator = _VECTOR_COMPARATORS.get(literal.term.functor)
+            if comparator is None:
+                return None
+            left = side_value(literal.term.args[0], p)
+            if left is _FALLBACK:
+                return None
+            right = side_value(literal.term.args[1], p)
+            if right is _FALLBACK:
+                return None
+            satisfied = comparator(left, right)
+            if literal.negated:
+                satisfied = (
+                    (not satisfied) if isinstance(satisfied, bool) else ~satisfied
+                )
+            mask = satisfied if mask is None else mask & satisfied
+        per_prefix.append((p, mask))
+
+    # Candidate indices: the union of the per-prefix masks, iterated
+    # event-major so yields interleave exactly like the per-event path.
+    all_pass = False
+    union_mask = None
+    for _p, mask in per_prefix:
+        if isinstance(mask, bool):
+            if mask:
+                all_pass = True
+        else:
+            union_mask = mask if union_mask is None else union_mask | mask
+    if all_pass:
+        indices = range(hi - lo)
+    elif union_mask is not None:
+        indices = union_mask.nonzero()[0]
+    else:
+        return ()
+
+    def emit():
+        for i in indices:
+            event = bucket[lo + int(i)]
+            for p, mask in per_prefix:
+                if mask if isinstance(mask, bool) else mask[i]:
+                    yield event, p
+
+    return emit()
 
 
 def _satisfy(

@@ -76,9 +76,15 @@ class EventStream:
         # bucketing pass below is order-preserving), and iteration reuses
         # the merged list instead of re-sorting the stream on every call.
         self._sorted: List[Event] = sorted(events, key=lambda e: (e.time, repr(e.term)))
+        # Global time column parallel to ``_sorted`` — count_in_window and
+        # slice_window binary-search it instead of walking buckets.
+        self._times: List[int] = [e.time for e in self._sorted]
         self._count = len(self._sorted)
         self._min_time: Optional[int] = self._sorted[0].time if self._sorted else None
         self._max_time: Optional[int] = self._sorted[-1].time if self._sorted else None
+        # Per-functor numeric columns for the vectorised rule filter,
+        # built lazily by ``columns()`` and dropped on ``append``.
+        self._columns: Dict[Tuple[str, int], Tuple[object, tuple]] = {}
         for event in self._sorted:
             key = (event.functor, event.arity)
             self._by_functor[key].append(event)
@@ -105,9 +111,13 @@ class EventStream:
             repr(self._sorted[-1].term),
         ):
             self._sorted.append(event)
+            self._times.append(event.time)
         else:
-            self._sorted.insert(self._bisect_sorted(sort_key), event)
+            position = self._bisect_sorted(sort_key)
+            self._sorted.insert(position, event)
+            self._times.insert(position, event.time)
         self._count += 1
+        self._columns.pop((event.functor, event.arity), None)
         if self._min_time is None or event.time < self._min_time:
             self._min_time = event.time
         if self._max_time is None or event.time > self._max_time:
@@ -177,11 +187,82 @@ class EventStream:
         return iter(self._sorted)
 
     def count_in_window(self, start: int, end: int) -> int:
-        """Number of events with ``start < time <= end``, across all functors."""
-        total = 0
-        for times in self._times_by_functor.values():
-            total += bisect_right(times, end) - bisect_right(times, start)
-        return total
+        """Number of events with ``start < time <= end``, across all functors.
+
+        An inverted window (``start > end``) contains nothing and counts 0.
+        """
+        times = self._times
+        return max(0, bisect_right(times, end) - bisect_right(times, start))
+
+    def slice_window(self, start: int, end: Optional[int] = None) -> "EventStream":
+        """A new stream holding the events with ``start < time <= end``.
+
+        Every index is produced by binary-search slicing of this stream's
+        already-sorted indexes — no re-sort, no per-event filtering, and no
+        ``repr`` sort keys. With ``end=None`` the slice is unbounded above.
+        The result is a fully independent ``EventStream`` (sharing the
+        immutable :class:`Event` objects) equal to
+        ``EventStream(e for e in self if start < e.time <= end)``.
+        """
+        times = self._times
+        lo = bisect_right(times, start)
+        hi = len(times) if end is None else bisect_right(times, end)
+        clone = object.__new__(EventStream)
+        clone._by_functor = defaultdict(list)
+        clone._times_by_functor = {}
+        clone._by_entity = defaultdict(list)
+        clone._entity_times = {}
+        clone._columns = {}
+        if lo >= hi:
+            clone._sorted = []
+            clone._times = []
+            clone._count = 0
+            clone._min_time = None
+            clone._max_time = None
+            return clone
+        clone._sorted = self._sorted[lo:hi]
+        clone._times = times[lo:hi]
+        clone._count = hi - lo
+        clone._min_time = clone._sorted[0].time
+        clone._max_time = clone._sorted[-1].time
+        for key, bucket_times in self._times_by_functor.items():
+            b_lo = bisect_right(bucket_times, start)
+            b_hi = len(bucket_times) if end is None else bisect_right(bucket_times, end)
+            if b_lo < b_hi:
+                clone._by_functor[key] = self._by_functor[key][b_lo:b_hi]
+                clone._times_by_functor[key] = bucket_times[b_lo:b_hi]
+        for ekey, bucket_times in self._entity_times.items():
+            b_lo = bisect_right(bucket_times, start)
+            b_hi = len(bucket_times) if end is None else bisect_right(bucket_times, end)
+            if b_lo < b_hi:
+                clone._by_entity[ekey] = self._by_entity[ekey][b_lo:b_hi]
+                clone._entity_times[ekey] = bucket_times[b_lo:b_hi]
+        return clone
+
+    def columns(
+        self, functor: str, arity: int
+    ) -> Optional[Tuple[List[Event], List[int], object, tuple]]:
+        """Columnar view of one functor bucket for the vectorised rule filter.
+
+        Returns ``(bucket, times, np_times, value_columns)`` or ``None``
+        when the bucket is empty. ``value_columns`` has one entry per
+        argument position: a float64 array of that argument's values when
+        every event carries a float64-exact numeric constant there, else
+        ``None`` (the vectorised filter then falls back to the per-event
+        path for sides touching that position). Built lazily per bucket and
+        cached until the next ``append`` of this functor. Requires numpy —
+        only the columnar backend calls this.
+        """
+        key = (functor, arity)
+        bucket = self._by_functor.get(key)
+        if not bucket:
+            return None
+        cached = self._columns.get(key)
+        if cached is None:
+            cached = _build_columns(bucket, arity)
+            self._columns[key] = cached
+        np_times, value_columns = cached
+        return bucket, self._times_by_functor[key], np_times, value_columns
 
     def events_in_window(
         self, functor: str, arity: int, start: int, end: int, first: Optional[Term] = None
@@ -227,6 +308,36 @@ class EventStream:
 
     def functors(self) -> List[Tuple[str, int]]:
         return sorted(self._by_functor)
+
+
+#: Integers beyond ±2**53 are not exactly representable as float64; columns
+#: containing one are rejected so the vectorised comparisons stay exact.
+_FLOAT64_EXACT_BOUND = 2**53
+
+
+def _build_columns(bucket: List[Event], arity: int) -> Tuple[object, tuple]:
+    import numpy
+
+    count = len(bucket)
+    np_times = numpy.fromiter((e.time for e in bucket), dtype=numpy.int64, count=count)
+    value_columns = []
+    for position in range(arity):
+        values = numpy.empty(count, dtype=numpy.float64)
+        usable = True
+        for index, event in enumerate(bucket):
+            argument = event.term.args[position]
+            if not (isinstance(argument, Constant) and argument.is_number):
+                usable = False
+                break
+            value = argument.value
+            if isinstance(value, int) and (
+                value > _FLOAT64_EXACT_BOUND or value < -_FLOAT64_EXACT_BOUND
+            ):
+                usable = False
+                break
+            values[index] = value
+        value_columns.append(values if usable else None)
+    return np_times, tuple(value_columns)
 
 
 class InputFluents:

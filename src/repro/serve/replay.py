@@ -265,6 +265,7 @@ def drive_reference_session(
     end: Optional[int] = None,
     jobs: Optional[int] = None,
     incremental: bool = False,
+    backend: Optional[str] = None,
 ) -> RecognitionResult:
     """An uninterrupted :class:`RTECSession` run under the service's policy.
 
@@ -276,7 +277,9 @@ def drive_reference_session(
     recomputation oracle, so comparing a served (incremental) run against
     it is also a cross-mode equality check of the delta evaluation.
     """
-    session = RTECSession(engine, window, jobs=jobs, incremental=incremental)
+    session = RTECSession(
+        engine, window, jobs=jobs, incremental=incremental, backend=backend
+    )
     next_query: Optional[int] = None
 
     def grid_after(time: int) -> int:

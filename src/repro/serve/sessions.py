@@ -76,6 +76,10 @@ class SessionConfig:
     #: Incremental (delta) window evaluation (``RTECSession(incremental=)``).
     #: Off forces full-window recomputation on every advance (the oracle).
     incremental: bool = True
+    #: Kernel backend the session's advances run under
+    #: (``RTECSession(backend=)``): ``"pure"``, ``"columnar"``, or ``None``
+    #: for the ambient process-wide backend.
+    backend: Optional[str] = None
 
     def resolved_step(self) -> int:
         step = self.window if self.step is None else self.step
@@ -123,7 +127,11 @@ class ManagedSession:
         self.checkpoint_dir = checkpoint_dir
         self.step = config.resolved_step()
         self.session = RTECSession(
-            engine, config.window, jobs=config.jobs, incremental=config.incremental
+            engine,
+            config.window,
+            jobs=config.jobs,
+            incremental=config.incremental,
+            backend=config.backend,
         )
         self.description_digest = checkpointing.description_hash(engine.description)
         self.counters = _Counters()

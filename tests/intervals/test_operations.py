@@ -136,3 +136,38 @@ class TestProperties:
     def test_commutativity(self, left, right):
         assert union_all([left, right]) == union_all([right, left])
         assert intersect_all([left, right]) == intersect_all([right, left])
+
+
+class TestResultOwnership:
+    """The constructs may return one of their *input* objects.
+
+    ``union_all`` with exactly one non-empty operand and ``intersect_all``
+    with a singleton list skip the sweep and hand back the input — safe only
+    because :class:`IntervalList` enforces immutability. These are the
+    regression tests the fast paths in ``operations.py`` point at.
+    """
+
+    def test_union_single_non_empty_returns_the_input(self):
+        only = IntervalList([(1, 5), (9, 12)])
+        result = union_all([IntervalList.empty(), only, IntervalList.empty()])
+        assert result is only
+
+    def test_intersect_singleton_returns_the_input(self):
+        only = IntervalList([(1, 5)])
+        assert intersect_all([only]) is only
+
+    def test_shared_results_cannot_be_mutated(self):
+        only = IntervalList([(1, 5)])
+        shared = union_all([only])
+        with pytest.raises(AttributeError):
+            shared._intervals = ()
+        with pytest.raises(AttributeError):
+            del shared._intervals
+        with pytest.raises(AttributeError):
+            intersect_all([only]).anything = 1
+
+    def test_as_pairs_never_aliases_internal_state(self):
+        only = IntervalList([(1, 5)])
+        pairs = union_all([only]).as_pairs()
+        pairs.append((99, 100))
+        assert only.as_pairs() == [(1, 5)]
