@@ -91,3 +91,59 @@ class TestOptimisedRecognition:
                 "optimised run slower than plain at omega=%d: %.3fs vs %.3fs"
                 % (window, fast_seconds, plain_seconds)
             )
+
+    def test_measured_cost_model_identical_no_slower(
+        self, dataset, gold_engine, capsys, benchmark
+    ):
+        """Profile-guided reordering vs the static heuristic.
+
+        The measured cost model (per-class expansion factors from a
+        profiled recognition run) replaces the static selectivity table in
+        the optimiser's Phase C. The reorder stays binding-order valid, so
+        detections must be byte-identical to both the plain and the
+        statically-optimised run, and the measured order must not be
+        slower than the static one (same 1.10 noise factor).
+        """
+        from repro.analysis.costmodel import measure_cost_model
+
+        window = WINDOWS[0]
+        cost_model = measure_cost_model(
+            gold_engine, dataset.stream, dataset.input_fluents, window=window
+        )
+        static_engine = gold_engine.optimised_for(dataset.input_fluents)
+        measured_engine = gold_engine.optimised_for(
+            dataset.input_fluents, cost_model=cost_model
+        )
+
+        def run(engine):
+            started = time.perf_counter()
+            result = engine.recognise(
+                dataset.stream, dataset.input_fluents, window=window
+            )
+            return result, time.perf_counter() - started
+
+        run(static_engine), run(measured_engine)  # warm both clones
+        static_result, static_a = run(static_engine)
+        measured_result, measured_a = run(measured_engine)
+        _, static_b = run(static_engine)
+        _, measured_b = run(measured_engine)
+        plain_result, _ = run(gold_engine)
+        assert measured_result.to_json() == static_result.to_json()
+        assert measured_result.to_json() == plain_result.to_json()
+        static_seconds = min(static_a, static_b)
+        measured_seconds = min(measured_a, measured_b)
+        benchmark.pedantic(lambda: None, rounds=1)
+        benchmark.extra_info["cost_model"] = cost_model.describe()
+        benchmark.extra_info["static_s"] = round(static_seconds, 4)
+        benchmark.extra_info["measured_s"] = round(measured_seconds, 4)
+        with capsys.disabled():
+            print("\n=== static vs profile-guided reordering (omega=%ds) ===" % window)
+            print("  cost model: %s" % cost_model.describe())
+            print(
+                "  static %6.2fs  measured %6.2fs  (x%.2f)"
+                % (static_seconds, measured_seconds, static_seconds / measured_seconds)
+            )
+        assert measured_seconds <= static_seconds * 1.10, (
+            "profile-guided reordering slower than static: %.3fs vs %.3fs"
+            % (measured_seconds, static_seconds)
+        )

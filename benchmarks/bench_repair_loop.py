@@ -1,0 +1,83 @@
+"""Repair loop: convergence and the similarity gate per model x scheme.
+
+Runs the iterative diagnostic repair loop (:mod:`repro.analysis.repair`)
+over every simulated model x scheme combination and asserts the acceptance
+contract: every combination terminates within the budget in a
+non-pathological state (clean, converged, or fixpoint — never oscillation
+or budget exhaustion on the stock profiles), final similarity is never
+below the single-shot correction baseline, and at least two combinations
+end strictly better. The per-iteration trajectories (diagnostic counts,
+fixed/regressed codes, similarity per iteration) land in the benchmark
+JSON artefact for CI upload.
+
+Run:  pytest benchmarks/bench_repair_loop.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.experiments.repair import format_table, run_repair_experiment
+from repro.generation import correct_event_description, generate
+from repro.llm.simulated import SimulatedLLM
+from repro.maritime.gold import MARITIME_VOCABULARY
+
+BUDGET = 5
+TERMINAL_OK = ("clean", "converged", "fixpoint")
+
+
+@pytest.fixture(scope="module")
+def repair_result(dataset):
+    return run_repair_experiment(dataset.kb, budget=BUDGET)
+
+
+class TestRepairLoop:
+    def test_bench_single_repair(self, benchmark, dataset):
+        """Cost of one full repair loop (weakest model, so most iterations)."""
+        outcome = generate("gemma-2", "few-shot", seed=0)
+
+        def run():
+            client = SimulatedLLM("gemma-2", seed=0)
+            _corrected, report = correct_event_description(
+                outcome.generated,
+                MARITIME_VOCABULARY,
+                dataset.kb,
+                repair=True,
+                client=client,
+                repair_budget=BUDGET,
+            )
+            return report.repair
+
+        result = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert result.status in TERMINAL_OK
+
+    def test_print_trajectories(self, benchmark, repair_result, capsys):
+        """The convergence table itself, plus the JSON artefact payload."""
+        benchmark.pedantic(lambda: format_table(repair_result), rounds=1)
+        benchmark.extra_info["entries"] = [
+            entry.to_dict() for entry in repair_result.entries
+        ]
+        with capsys.disabled():
+            print("\n=== iterative diagnostic repair (maritime) ===")
+            print(format_table(repair_result))
+
+    def test_terminates_within_budget(self, repair_result):
+        for entry in repair_result.entries:
+            assert len(entry.result.iterations) <= BUDGET, (
+                "%s/%s overran the budget" % (entry.model, entry.scheme)
+            )
+            assert entry.result.status in TERMINAL_OK, (
+                "%s/%s ended %s" % (entry.model, entry.scheme, entry.result.status)
+            )
+
+    def test_similarity_gate(self, repair_result):
+        """Repair never ends below the single-shot correction baseline."""
+        for entry in repair_result.entries:
+            assert entry.improvement >= -1e-9, (
+                "%s/%s regressed below baseline: %.3f < %.3f"
+                % (
+                    entry.model,
+                    entry.scheme,
+                    entry.result.final_similarity,
+                    entry.baseline,
+                )
+            )
+        assert len(repair_result.strictly_improved) >= 2

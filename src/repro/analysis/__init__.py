@@ -32,7 +32,15 @@ _EXPORTS = {
     "analyse_text": "analyzer",
     "PASSES": "analyzer",
     "apply_fixes": "fixers",
+    "normalise_rename_map": "fixers",
     "to_sarif": "sarif",
+    "CostModel": "costmodel",
+    "condition_class": "costmodel",
+    "measure_cost_model": "costmodel",
+    "RepairAction": "repair",
+    "RepairIteration": "repair",
+    "RepairResult": "repair",
+    "repair_event_description": "repair",
     "SemanticFacts": "semantics",
     "RuleFacts": "semantics",
     "analyse_semantics": "semantics",

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.analysis.binding import check_rule
+from repro.analysis.costmodel import STATIC_RANKS, CostModel, condition_class
 from repro.analysis.semantics import (
     STREAM_FUNCTORS,
     comparison_facts,
@@ -505,18 +506,13 @@ def _eliminate_unreachable(
 
 
 def _literal_cost(literal: Literal, bound: Set[Variable]) -> int:
-    term = literal.term
-    if is_comparison(term):
-        return 0
-    if isinstance(term, Compound) and term.functor == "holdsAt" and term.arity == 2:
-        # A fully bound holdsAt is an O(1) store lookup; with unbound
-        # pattern variables it enumerates store instances — rank it after
-        # the stream join so it does not lose its cheap-lookup shape.
-        return 3 if set(term_variables(term)) <= bound else 6
-    if isinstance(term, Compound) and term.functor == "happensAt" and term.arity == 2:
-        return 4 if literal.negated else 5
-    # background lookup
-    return 1 if literal.negated else 2
+    """The static rank of one condition (fallback when no cost model).
+
+    A fully bound holdsAt is an O(1) store lookup; with unbound pattern
+    variables it enumerates store instances — ranked after the stream join
+    so it does not lose its cheap-lookup shape.
+    """
+    return STATIC_RANKS[condition_class(literal, bound)]
 
 
 def _required_vars(literal: Literal) -> Set[Variable]:
@@ -534,14 +530,19 @@ def _binds_vars(literal: Literal) -> Set[Variable]:
     return set(term_variables(literal.term))
 
 
-def _reorder_body(rule: Rule) -> Optional[Rule]:
+def _reorder_body(rule: Rule, cost_model: Optional[CostModel] = None) -> Optional[Rule]:
     """Greedy cheapest-eligible-first ordering; ``None`` = keep original.
 
     Sound because body conditions are a pure conjunction (solution sets are
     order-independent), initiation/termination points accumulate into sets,
     and a negation-as-failure or comparison literal is only placed once all
     its variables are bound by earlier positive literals — the same
-    dataflow contract the engine's left-to-right evaluation requires.
+    dataflow contract the engine's left-to-right evaluation requires. The
+    soundness argument is independent of the rank function, so a measured
+    ``cost_model`` (see :mod:`repro.analysis.costmodel`) changes only
+    *which* valid order is picked, never the recognised intervals. With a
+    model, ties on the measured rank fall back to the static rank and then
+    the original index, keeping the order deterministic.
     """
     body = rule.body
     if len(body) <= 2:
@@ -556,15 +557,20 @@ def _reorder_body(rule: Rule) -> Optional[Rule]:
     remaining = list(range(1, len(body)))
     bound: Set[Variable] = set(term_variables(seed.term))
     order: List[int] = [0]
+
+    def rank_key(index: int) -> Tuple[float, int, int]:
+        cls = condition_class(body[index], bound)
+        static = STATIC_RANKS[cls]
+        measured = cost_model.rank(cls) if cost_model is not None else float(static)
+        return (measured, static, index)
+
     while remaining:
         eligible = [
             index for index in remaining if _required_vars(body[index]) <= bound
         ]
         if not eligible:
             return None  # cannot verify a valid reorder; keep the original
-        best = min(
-            eligible, key=lambda index: (_literal_cost(body[index], bound), index)
-        )
+        best = min(eligible, key=rank_key)
         order.append(best)
         remaining.remove(best)
         bound |= _binds_vars(body[best])
@@ -584,6 +590,7 @@ def optimise_description(
     extra_input_fluents: Iterable[FluentKey] = (),
     reorder: bool = True,
     prune_unreachable: bool = True,
+    cost_model: Optional[CostModel] = None,
 ) -> OptimisationResult:
     """Produce an equivalent, faster event description.
 
@@ -592,9 +599,17 @@ def optimise_description(
     enables reachability pruning under the assumption that the runtime
     stream only carries declared input events and that injected fluents
     are limited to the declared input fluents plus ``extra_input_fluents``
-    (pass the keys actually injected — the engine does).
+    (pass the keys actually injected — the engine does). ``cost_model``
+    replaces the static selectivity ranks of Phase C with measured ones
+    (see :func:`repro.analysis.costmodel.measure_cost_model`); results
+    stay byte-identical for any model.
     """
     result = OptimisationResult(description=description)
+    if cost_model is not None:
+        result.notes.append(
+            "selectivity ranks from measured cost model (%s)"
+            % (cost_model.source or "unlabelled")
+        )
     rules: List[Optional[Rule]] = list(description.rules)
     protected = _initially_keys(description)
     # Rules the binding analysis flags are passed through untouched: their
@@ -671,7 +686,7 @@ def optimise_description(
                 continue
             if _rule_kind(rule) not in ("initiatedAt", "terminatedAt"):
                 continue
-            reordered = _reorder_body(rule)
+            reordered = _reorder_body(rule, cost_model)
             if reordered is not None:
                 rules[index] = reordered
                 result.reordered_rules.append(index)

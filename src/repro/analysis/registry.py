@@ -31,6 +31,11 @@ __all__ = ["LintRule", "LINT_RULES", "DOCS_URI", "rule_for"]
 DOCS_URI = "https://github.com/aartikis/RTEC/blob/master/DESIGN.md"
 
 
+#: Codes the repair loop does *not* feed back to the model: informational
+#: lints that describe a property of the description rather than a defect.
+_NOT_REPAIRABLE = frozenset({"RTEC015"})
+
+
 @dataclass(frozen=True)
 class LintRule:
     """Documentation record of one lint code."""
@@ -42,6 +47,10 @@ class LintRule:
     explanation: str
     paper_category: Optional[int] = None
     fixable: bool = False
+    repair: Optional[str] = None
+    """How the repair loop handles this code: ``"auto"`` (a structured fix
+    is applied mechanically), ``"prompt"`` (rendered into a repair prompt
+    for the model), or ``None`` (not repairable)."""
 
     @property
     def help_uri(self) -> str:
@@ -53,7 +62,14 @@ def _rule(code: str, title: str, explanation: str, paper_category: Optional[int]
           fixable: bool = False) -> LintRule:
     category = next(c for c, (cd, _s) in CATEGORY_CODES.items() if cd == code)
     severity = CATEGORY_CODES[category][1]
-    return LintRule(code, category, severity, title, explanation, paper_category, fixable)
+    if fixable:
+        repair: Optional[str] = "auto"
+    elif code in _NOT_REPAIRABLE:
+        repair = None
+    else:
+        repair = "prompt"
+    return LintRule(code, category, severity, title, explanation, paper_category,
+                    fixable, repair)
 
 
 LINT_RULES: Dict[str, LintRule] = {

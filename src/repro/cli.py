@@ -9,6 +9,8 @@ Subcommands mirror the paper's workflow::
     python -m repro generate --model o1    # print one generated event description
     python -m repro lint FILE              # lint an RTEC event description
     python -m repro lint --gold maritime   # lint a built-in gold description
+    python -m repro lint --explain RTEC016 # document one diagnostic code
+    python -m repro repair --model gemma-2 # iterative diagnostic repair loop
     python -m repro validate FILE          # deprecated alias of lint (errors only)
     python -m repro profile --window 600   # telemetry span tree of a recognition run
     python -m repro serve --tcp 7700       # long-lived recognition service
@@ -84,6 +86,31 @@ def build_parser() -> argparse.ArgumentParser:
                      help="default: the model's best scheme")
     gen.add_argument("--seed", type=int, default=0)
 
+    repair = sub.add_parser(
+        "repair",
+        help="iterative diagnostic repair of generated event descriptions",
+        description="Close the static-analysis feedback cycle: generate with "
+        "a simulated model, apply single-shot correction, then iterate "
+        "analyse -> auto-fix -> repair-prompt until clean, fixpoint, "
+        "oscillation, or budget. Prints a per-iteration report (diagnostics "
+        "remaining, similarity delta, fixed/regressed codes).",
+    )
+    repair.add_argument(
+        "--gold", choices=("maritime", "fleet"), default="maritime",
+        help="domain to repair against (default: maritime)",
+    )
+    repair.add_argument("--model", choices=MODEL_NAMES, default=None,
+                        help="default: all models")
+    repair.add_argument("--scheme", choices=PROMPT_SCHEMES, default=None,
+                        help="default: both pipeline schemes")
+    repair.add_argument("--seed", type=int, default=0)
+    repair.add_argument("--scale", type=float, default=0.1,
+                        help="maritime dataset scale (knowledge-base constants)")
+    repair.add_argument("--budget", type=int, default=5,
+                        help="maximum repair iterations (default: 5)")
+    repair.add_argument("--json", action="store_true",
+                        help="emit the full per-iteration report as JSON")
+
     errors = sub.add_parser(
         "errors", help="qualitative error assessment of a generated description"
     )
@@ -142,6 +169,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--gold",
         choices=("maritime", "fleet"),
         help="lint a built-in gold event description instead of a file",
+    )
+    lint.add_argument(
+        "--explain",
+        metavar="CODE",
+        default=None,
+        help="print the registry entry of one diagnostic code (e.g. "
+        "RTEC016) and exit; no PATH needed",
     )
     lint.add_argument(
         "--no-vocabulary",
@@ -392,6 +426,60 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_repair(args: argparse.Namespace) -> int:
+    from repro.experiments.repair import (
+        format_table,
+        run_fleet_repair_experiment,
+        run_repair_experiment,
+    )
+
+    models = [args.model] if args.model else list(MODEL_NAMES)
+    schemes = [args.scheme] if args.scheme else list(PROMPT_SCHEMES)
+    if args.gold == "fleet":
+        result = run_fleet_repair_experiment(
+            models, schemes, seed=args.seed, budget=args.budget
+        )
+    else:
+        dataset = build_dataset(seed=args.seed, scale=args.scale)
+        result = run_repair_experiment(
+            dataset.kb, models, schemes, seed=args.seed, budget=args.budget
+        )
+    if args.json:
+        print(result.to_json())
+        return 0 if result.all_at_least_baseline else 1
+    print(format_table(result))
+    for entry in result.entries:
+        for iteration in entry.result.iterations:
+            parts = [
+                "%%%% %s/%s iteration %d: %d -> %d diagnostics, similarity %.3f"
+                % (
+                    entry.model,
+                    entry.scheme,
+                    iteration.index,
+                    len(iteration.codes_before),
+                    len(iteration.codes_after),
+                    iteration.similarity,
+                )
+            ]
+            if iteration.fixed_codes:
+                parts.append("fixed %s" % ",".join(sorted(set(iteration.fixed_codes))))
+            if iteration.regressed_codes:
+                parts.append(
+                    "regressed %s" % ",".join(sorted(set(iteration.regressed_codes)))
+                )
+            if iteration.prompted_activities:
+                parts.append("prompted %s" % ",".join(iteration.prompted_activities))
+            if iteration.conflicts:
+                parts.append("conflicts %d" % len(iteration.conflicts))
+            print("; ".join(parts))
+        if entry.result.oscillation:
+            print(
+                "%%%% %s/%s oscillation: %s"
+                % (entry.model, entry.scheme, entry.result.oscillation)
+            )
+    return 0 if result.all_at_least_baseline else 1
+
+
 def _cmd_errors(args: argparse.Namespace) -> int:
     from repro.generation import analyse_errors, format_report
 
@@ -513,11 +601,45 @@ def _gold_lint_target(which: str):
     return description, vocabulary, outputs, "<gold:%s>" % which
 
 
+_PAPER_CATEGORY_LABELS = {
+    1: "naming divergence",
+    2: "wrong fluent type / malformed definition",
+    3: "undefined activity",
+    4: "wrong interval operator",
+}
+
+
+def _cmd_lint_explain(code: str) -> int:
+    """Print the registry entry of one diagnostic code."""
+    from repro.analysis import rule_for
+
+    rule = rule_for(code.strip().upper())
+    if rule is None:
+        print("error: unknown diagnostic code %r" % code, file=sys.stderr)
+        return 2
+    print("%s: %s" % (rule.code, rule.title))
+    print("  category:       %s" % rule.category)
+    print("  severity:       %s" % rule.severity)
+    if rule.paper_category is not None:
+        print(
+            "  paper category: %d (%s)"
+            % (rule.paper_category, _PAPER_CATEGORY_LABELS[rule.paper_category])
+        )
+    print("  auto-fix:       %s" % ("yes" if rule.fixable else "no"))
+    print("  repair:         %s" % (rule.repair or "not repairable"))
+    print("  docs:           %s" % rule.help_uri)
+    print()
+    print("  %s" % rule.explanation)
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     import json
 
     from repro.analysis import LintReport, Severity, analyse, analyse_text, to_sarif
 
+    if args.explain is not None:
+        return _cmd_lint_explain(args.explain)
     if (args.path is None) == (args.gold is None):
         print("error: give exactly one of PATH or --gold", file=sys.stderr)
         return 2
@@ -535,11 +657,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         description, vocabulary, outputs, source = _gold_lint_target(args.gold)
         if args.no_vocabulary:
             vocabulary = None
+        text = description.to_text()
         report = analyse(
             description,
             vocabulary,
             outputs=outputs,
-            text=description.to_text(),
+            text=text,
             source=source,
         )
     else:
@@ -568,7 +691,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.format == "json":
         print(report.to_json())
     elif args.format == "sarif":
-        print(json.dumps(to_sarif(report), indent=2))
+        print(json.dumps(to_sarif(report, source_text=text), indent=2))
     else:
         print(report.format_text())
     if args.fail_on == "never":
@@ -821,6 +944,7 @@ _COMMANDS = {
     "fig2c": _cmd_fig2c,
     "recognise": _cmd_recognise,
     "generate": _cmd_generate,
+    "repair": _cmd_repair,
     "errors": _cmd_errors,
     "diff": _cmd_diff,
     "profile": _cmd_profile,

@@ -7,7 +7,9 @@ One module per artifact of the evaluation section:
 * :mod:`repro.experiments.fig2b` — similarities after minimal syntactic
   correction of the three best event descriptions;
 * :mod:`repro.experiments.fig2c` — predictive accuracy (F1) of the
-  corrected event descriptions on the AIS stream.
+  corrected event descriptions on the AIS stream;
+* :mod:`repro.experiments.repair` — similarity convergence of the
+  iterative diagnostic repair loop per model x scheme.
 
 Each harness returns a structured result object and can render the same
 rows/series the paper plots via ``format_table``.
@@ -17,6 +19,7 @@ from repro.experiments.fig2a import Fig2aResult, run_fig2a
 from repro.experiments.fig2b import Fig2bResult, run_fig2b
 from repro.experiments.fig2c import Fig2cResult, run_fig2c
 from repro.experiments.render import bar, grouped_bar_chart
+from repro.experiments.repair import RepairExperimentResult, run_repair_experiment
 from repro.experiments.robustness import RobustnessResult, run_robustness
 
 __all__ = [
@@ -28,6 +31,8 @@ __all__ = [
     "run_fig2c",
     "bar",
     "grouped_bar_chart",
+    "RepairExperimentResult",
+    "run_repair_experiment",
     "RobustnessResult",
     "run_robustness",
 ]

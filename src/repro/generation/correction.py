@@ -59,6 +59,9 @@ class CorrectionReport:
     #: the renames). ``post_lint.has_errors`` flags descriptions that still
     #: cannot execute — the gate for downstream use.
     post_lint: Optional[LintReport] = None
+    #: Outcome of the iterative repair loop, when correction ran with
+    #: ``repair=True`` (:mod:`repro.analysis.repair`); ``None`` otherwise.
+    repair: Optional[object] = None
 
     @property
     def total_changes(self) -> int:
@@ -89,13 +92,28 @@ def correct_event_description(
     kb: KnowledgeBase,
     manual_functor_renames: Optional[Mapping[str, str]] = None,
     manual_constant_renames: Optional[Mapping[str, str]] = None,
+    repair: bool = False,
+    client=None,
+    repair_budget: int = 5,
+    domain=None,
+    outputs=None,
 ) -> Tuple[GeneratedEventDescription, CorrectionReport]:
-    """Return a corrected copy of ``generated`` plus a report of the changes."""
+    """Return a corrected copy of ``generated`` plus a report of the changes.
+
+    With ``repair=True`` the one-shot rename correction is followed by the
+    iterative diagnostic repair loop of :mod:`repro.analysis.repair`:
+    analyser diagnostics are auto-fixed where possible and otherwise fed
+    back to ``client`` (any LLM client; ``None`` restricts the loop to
+    mechanical fixes) until the description is clean, a fixpoint or an
+    oscillation is reached, or ``repair_budget`` iterations have run. The
+    loop's outcome is attached as ``report.repair`` and ``post_lint`` is
+    the final state's report.
+    """
     span = telemetry.span(
         "llm.correction", model=generated.model, scheme=generated.scheme
     )
     with span:
-        return _correct(
+        corrected, report = _correct(
             generated,
             vocabulary,
             kb,
@@ -103,6 +121,22 @@ def correct_event_description(
             manual_constant_renames,
             span,
         )
+    if repair:
+        from repro.analysis.repair import repair_event_description
+
+        result = repair_event_description(
+            corrected,
+            vocabulary,
+            kb,
+            client=client,
+            budget=repair_budget,
+            domain=domain,
+            outputs=outputs,
+        )
+        corrected = result.generated
+        report.repair = result
+        report.post_lint = result.final_report
+    return corrected, report
 
 
 def _correct(

@@ -21,8 +21,9 @@ reproducing a definition imperfectly.
 from __future__ import annotations
 
 import random
+import re
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import FrozenSet, List, Optional, Sequence
 
 from repro.logic.parser import Literal, Rule, parse_program, parse_term
 from repro.logic.terms import Compound, Constant, Term, Variable
@@ -56,11 +57,64 @@ def _rewrite_rule(rule: Rule, fn) -> Rule:
     return Rule(head, body)
 
 
+_RESERVED_NAMES = frozenset(
+    {
+        "initiatedAt",
+        "terminatedAt",
+        "holdsAt",
+        "holdsFor",
+        "happensAt",
+        "union_all",
+        "intersect_all",
+        "relative_complement_all",
+        "not",
+        "true",
+        "false",
+        "thresholds",
+    }
+)
+
+
+def _identifier_names(text: str) -> FrozenSet[str]:
+    """Lowercase-initial identifiers of a rule text, minus the reserved ones."""
+    names = set(re.findall(r"\b[a-z][A-Za-z0-9_]*\b", text))
+    return frozenset(names - _RESERVED_NAMES)
+
+
+def _term_names(term: Term) -> FrozenSet[str]:
+    """Functors and symbolic constants appearing in a term."""
+    names = set()
+
+    def walk(node: Term) -> None:
+        if isinstance(node, Compound):
+            if node.functor not in _RESERVED_NAMES:
+                names.add(node.functor)
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, Constant) and isinstance(node.value, str):
+            if node.value not in _RESERVED_NAMES:
+                names.add(node.value)
+
+    walk(term)
+    return frozenset(names)
+
+
 class Transformation:
     """Base class; subclasses override :meth:`apply`."""
 
     def apply(self, rules: List[Rule], rng: random.Random) -> List[Rule]:
         raise NotImplementedError
+
+    def introduced_names(self, gold_rules: Sequence[Rule]) -> FrozenSet[str]:
+        """The names this transformation's error surfaces under.
+
+        The repair loop uses these as a *fingerprint*: a diagnostic batch
+        mentioning one of these names (as a whole word) implicates the
+        transformation, and the simulated model drops it on the next
+        round. An empty set means the transformation is never implicated
+        by name (e.g. consistent variable renamings are harmless).
+        """
+        return frozenset()
 
 
 @dataclass(frozen=True)
@@ -79,6 +133,9 @@ class RenameFunctor(Transformation):
 
         return [_rewrite_rule(rule, fn) for rule in rules]
 
+    def introduced_names(self, gold_rules: Sequence[Rule]) -> FrozenSet[str]:
+        return frozenset({self.new})
+
 
 @dataclass(frozen=True)
 class RenameConstant(Transformation):
@@ -95,6 +152,9 @@ class RenameConstant(Transformation):
             return term
 
         return [_rewrite_rule(rule, fn) for rule in rules]
+
+    def introduced_names(self, gold_rules: Sequence[Rule]) -> FrozenSet[str]:
+        return frozenset({self.new})
 
 
 @dataclass(frozen=True)
@@ -138,6 +198,9 @@ class SwapOperator(Transformation):
                 out.append(rule)
         return out
 
+    def introduced_names(self, gold_rules: Sequence[Rule]) -> FrozenSet[str]:
+        return frozenset({self.new})
+
 
 @dataclass(frozen=True)
 class SwapArguments(Transformation):
@@ -154,6 +217,9 @@ class SwapArguments(Transformation):
 
         return [_rewrite_rule(rule, fn) for rule in rules]
 
+    def introduced_names(self, gold_rules: Sequence[Rule]) -> FrozenSet[str]:
+        return frozenset({self.functor})
+
 
 @dataclass(frozen=True)
 class DropRule(Transformation):
@@ -165,6 +231,11 @@ class DropRule(Transformation):
         if not 0 <= self.index < len(rules):
             return list(rules)
         return [rule for i, rule in enumerate(rules) if i != self.index]
+
+    def introduced_names(self, gold_rules: Sequence[Rule]) -> FrozenSet[str]:
+        if not 0 <= self.index < len(gold_rules):
+            return frozenset()
+        return _term_names(gold_rules[self.index].head)
 
 
 @dataclass(frozen=True)
@@ -186,6 +257,25 @@ class DropCondition(Transformation):
         )
         out[self.rule_index] = Rule(rule.head, body)
         return out
+
+    def introduced_names(self, gold_rules: Sequence[Rule]) -> FrozenSet[str]:
+        if not 0 <= self.rule_index < len(gold_rules):
+            return frozenset()
+        rule = gold_rules[self.rule_index]
+        if not 0 <= self.condition_index < len(rule.body):
+            return frozenset()
+        literal = rule.body[self.condition_index]
+        names = set(_term_names(literal.term))
+
+        def walk(node: Term) -> None:
+            if isinstance(node, Compound):
+                for arg in node.args:
+                    walk(arg)
+            elif isinstance(node, Variable):
+                names.add(node.name)
+
+        walk(literal.term)
+        return frozenset(names)
 
 
 @dataclass(frozen=True)
@@ -216,6 +306,9 @@ class AddCondition(Transformation):
         out[self.rule_index] = Rule(rule.head, tuple(body))
         return out
 
+    def introduced_names(self, gold_rules: Sequence[Rule]) -> FrozenSet[str]:
+        return _identifier_names(self.condition)
+
 
 @dataclass(frozen=True)
 class TruncateRules(Transformation):
@@ -226,6 +319,12 @@ class TruncateRules(Transformation):
 
     def apply(self, rules: List[Rule], rng: random.Random) -> List[Rule]:
         return list(rules[: max(0, self.count)])
+
+    def introduced_names(self, gold_rules: Sequence[Rule]) -> FrozenSet[str]:
+        names = set()
+        for rule in gold_rules[max(0, self.count):]:
+            names |= _term_names(rule.head)
+        return frozenset(names)
 
 
 @dataclass(frozen=True)
@@ -265,6 +364,14 @@ class ReplaceRules(Transformation):
 
     def apply(self, rules: List[Rule], rng: random.Random) -> List[Rule]:
         return parse_program(self.text)
+
+    def introduced_names(self, gold_rules: Sequence[Rule]) -> FrozenSet[str]:
+        gold_names = set()
+        for rule in gold_rules:
+            gold_names |= _term_names(rule.head)
+            for literal in rule.body:
+                gold_names |= _term_names(literal.term)
+        return frozenset(_identifier_names(self.text) - gold_names)
 
 
 def apply_all(

@@ -27,6 +27,8 @@ __all__ = [
     "prompt_e",
     "prompt_t",
     "prompt_g",
+    "prompt_repair",
+    "REPAIR_MARKER",
 ]
 
 FEW_SHOT = "few-shot"
@@ -232,4 +234,37 @@ def prompt_g(description: str, domain: str = "Maritime") -> str:
         "learned.\n\n"
         "%s Composite Activity Description - %s"
         % (domain.lower(), domain, description)
+    )
+
+
+#: The sentence opening a repair prompt; clients (and the simulated model)
+#: recognise a repair round by its presence in the last user message.
+REPAIR_MARKER = "Repair request - "
+
+
+def prompt_repair(
+    description: str,
+    current_text: str,
+    diagnostics_text: str,
+    domain: str = "Maritime",
+) -> str:
+    """The repair prompt: current definition plus analyser diagnostics.
+
+    Built by the repair loop (:mod:`repro.analysis.repair`) for each
+    activity whose diagnostics could not be fixed mechanically. The prompt
+    restates the activity description in the same ``Composite Activity
+    Description -`` framing as prompt G so the model knows which activity
+    to re-derive, quotes the current (possibly auto-fixed) definition, and
+    renders the unresolved diagnostics verbatim.
+    """
+    return (
+        "%sThe definition you provided for the following composite "
+        "activity was checked by a static analyser and problems remain. "
+        "Provide corrected rules in RTEC formalization, fixing every "
+        "reported problem while keeping the parts that are already "
+        "correct.\n\n"
+        "%s Composite Activity Description - %s\n\n"
+        "Your current definition:\n\n%s\n\n"
+        "Analyser diagnostics:\n\n%s"
+        % (REPAIR_MARKER, domain, description, current_text, diagnostics_text)
     )

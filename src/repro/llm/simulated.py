@@ -25,12 +25,13 @@ fleet management (the paper's further-work domain).
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional, Sequence
+import re
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.llm.errors import CorruptSyntax, apply_all
+from repro.llm.errors import CorruptSyntax, Transformation, apply_all
 from repro.llm.interface import ChatMessage
 from repro.llm.profiles import MODEL_NAMES, Profile, profile_for
-from repro.llm.prompts import CHAIN_OF_THOUGHT, FEW_SHOT, ZERO_SHOT
+from repro.llm.prompts import CHAIN_OF_THOUGHT, FEW_SHOT, REPAIR_MARKER, ZERO_SHOT
 from repro.logic.parser import parse_program
 from repro.logic.pretty import program_to_str
 from repro.maritime.gold import ACTIVITY_GROUPS, ActivityGroup
@@ -41,6 +42,8 @@ _GENERATION_MARKER = "Maritime Composite Activity Description - "
 _GENERIC_MARKER = "Composite Activity Description - "
 _COT_MARKER = "Answer: The activity 'withinArea' is expressed"
 _F_MARKER = "There are two ways in which a composite activity may be defined"
+_DIAGNOSTICS_HEADER = "Analyser diagnostics:"
+_SYNTAX_HINTS = ("RTEC001", "syntax", "parse")
 
 
 class SimulatedLLM:
@@ -73,6 +76,9 @@ class SimulatedLLM:
         self._rng = random.Random((hash(model) & 0xFFFF) ^ seed)
         self._knowledge = list(knowledge)
         self._profiles = profiles
+        # (scheme, activity name) -> transformations the model has "learned"
+        # to avoid after being shown analyser diagnostics implicating them.
+        self._repaired: Dict[Tuple[str, str], Set[Transformation]] = {}
 
     @property
     def model_name(self) -> str:
@@ -81,6 +87,8 @@ class SimulatedLLM:
     def complete(self, conversation: Sequence[ChatMessage]) -> str:
         """Reply to the last user message of the conversation."""
         last_user = self._last_user_message(conversation)
+        if REPAIR_MARKER in last_user.content:
+            return self._repair_definition(conversation, last_user.content)
         if _GENERIC_MARKER in last_user.content:
             return self._generate_definition(conversation, last_user.content)
         return "Understood."
@@ -131,14 +139,15 @@ class SimulatedLLM:
             return self._profiles.get(scheme, {})
         return profile_for(self._model, scheme)
 
-    def _generate_definition(
-        self, conversation: Sequence[ChatMessage], request: str
-    ) -> str:
-        group = self._match_activity(request)
-        if group is None:
-            return "% I do not know how to formalise this activity."
-        scheme = self._detect_scheme(conversation)
+    def _active_transformations(
+        self, scheme: str, group: ActivityGroup
+    ) -> List[Transformation]:
+        """The profile's transformations minus the ones repaired away."""
         transformations = self._profile(scheme).get(group.name, [])
+        suppressed = self._repaired.get((scheme, group.name), set())
+        return [t for t in transformations if t not in suppressed]
+
+    def _render(self, group: ActivityGroup, transformations: Sequence[Transformation]) -> str:
         rule_level = [t for t in transformations if not isinstance(t, CorruptSyntax)]
         text_level = [t for t in transformations if isinstance(t, CorruptSyntax)]
         rules = parse_program(group.rules_text)
@@ -147,3 +156,48 @@ class SimulatedLLM:
         for corruption in text_level:
             text = corruption.corrupt(text)
         return text
+
+    def _generate_definition(
+        self, conversation: Sequence[ChatMessage], request: str
+    ) -> str:
+        group = self._match_activity(request)
+        if group is None:
+            return "% I do not know how to formalise this activity."
+        scheme = self._detect_scheme(conversation)
+        return self._render(group, self._active_transformations(scheme, group))
+
+    def _repair_definition(
+        self, conversation: Sequence[ChatMessage], request: str
+    ) -> str:
+        """Respond to a repair prompt (see :func:`repro.llm.prompts.prompt_repair`).
+
+        The model reads the quoted analyser diagnostics and drops every
+        profile transformation *implicated* by them: a transformation is
+        implicated when one of its :meth:`~repro.llm.errors.Transformation.introduced_names`
+        occurs as a whole word in the diagnostics text (syntax corruptions
+        are implicated by any syntax/parse-error diagnostic). Dropped
+        transformations stay dropped for the rest of the conversation —
+        the simulated counterpart of a model incorporating feedback — while
+        unimplicated ones persist, so a repair round only fixes what the
+        diagnostics actually describe.
+        """
+        group = self._match_activity(request)
+        if group is None:
+            return "% I do not know how to formalise this activity."
+        scheme = self._detect_scheme(conversation)
+        _prefix, _sep, diagnostics_text = request.partition(_DIAGNOSTICS_HEADER)
+        gold_rules = parse_program(group.rules_text)
+        active = self._active_transformations(scheme, group)
+        suppressed = self._repaired.setdefault((scheme, group.name), set())
+        for transformation in active:
+            if isinstance(transformation, CorruptSyntax):
+                if any(hint in diagnostics_text for hint in _SYNTAX_HINTS):
+                    suppressed.add(transformation)
+                continue
+            names = transformation.introduced_names(gold_rules)
+            if any(
+                re.search(r"\b%s\b" % re.escape(name), diagnostics_text)
+                for name in names
+            ):
+                suppressed.add(transformation)
+        return self._render(group, self._active_transformations(scheme, group))

@@ -143,13 +143,18 @@ class RTECEngine:
         return start, end
 
     def optimised_for(
-        self, input_fluents: Optional[InputFluents] = None
+        self,
+        input_fluents: Optional[InputFluents] = None,
+        cost_model=None,
     ) -> "RTECEngine":
         """An equivalent engine running the optimised description.
 
         Clones are cached per set of injected fluent keys: the optimiser's
         reachability pruning treats exactly those keys (plus the declared
-        input fluents) as externally injectable.
+        input fluents) as externally injectable. ``cost_model`` (a
+        :class:`repro.analysis.costmodel.CostModel`) switches the Phase C
+        selectivity reordering to measured ranks; clones are cached per
+        (key set, model digest) pair.
         """
         keys = set()
         if input_fluents is not None:
@@ -159,7 +164,10 @@ class RTECEngine:
                         keys.add(fluent_key(pair.args[0]))
                     except ValueError:
                         continue
-        cache_key = frozenset(keys)
+        cache_key = (
+            frozenset(keys),
+            cost_model.key() if cost_model is not None else None,
+        )
         cached = self._optimised.get(cache_key)
         if cached is None:
             from repro.analysis.optimize import optimise_description
@@ -169,7 +177,8 @@ class RTECEngine:
                 self.description,
                 kb=self.kb,
                 vocabulary=self.vocabulary,
-                extra_input_fluents=cache_key,
+                extra_input_fluents=cache_key[0],
+                cost_model=cost_model,
             )
             cached = RTECEngine(
                 optimisation.description,

@@ -37,6 +37,7 @@ from repro.logic.terms import (
     is_fvp,
     is_ground,
 )
+from repro.logic.pretty import term_to_str
 from repro.logic.unification import Substitution, unify
 from repro.rtec.builtins import evaluate_comparison
 from repro.rtec.compile import (
@@ -95,15 +96,18 @@ def evaluate_simple_fluent(
         terminations: Dict[Term, Set[int]] = defaultdict(set)
 
         for rule in definition.initiated_rules:
-            try:
-                for pair, time in rule_firing_points(
-                    rule, stream, kb, store, window_start, window_end, require_ground=True
-                ):
-                    initiations[pair].add(time)
-            except EvaluationError as exc:
-                if on_error is None:
-                    raise exc.with_context(rule_head=rule.head) from exc
-                on_error("skipped rule %r: %s" % (rule.head, exc))
+            with telemetry.span("rtec.rule") as rsp:
+                if rsp.enabled:
+                    rsp.set(head=term_to_str(rule.head), kind="initiatedAt")
+                try:
+                    for pair, time in rule_firing_points(
+                        rule, stream, kb, store, window_start, window_end, require_ground=True
+                    ):
+                        initiations[pair].add(time)
+                except EvaluationError as exc:
+                    if on_error is None:
+                        raise exc.with_context(rule_head=rule.head) from exc
+                    on_error("skipped rule %r: %s" % (rule.head, exc))
 
         for pair, start_time in carried_initiations.items():
             initiations[pair].add(start_time)
@@ -113,15 +117,18 @@ def evaluate_simple_fluent(
         # happensAt(gap_start(Vl), T)") terminates every matching instance.
         pending: List[Tuple[Term, int]] = []
         for rule in definition.terminated_rules:
-            try:
-                for pair, time in rule_firing_points(
-                    rule, stream, kb, store, window_start, window_end, require_ground=False
-                ):
-                    pending.append((pair, time))
-            except EvaluationError as exc:
-                if on_error is None:
-                    raise exc.with_context(rule_head=rule.head) from exc
-                on_error("skipped rule %r: %s" % (rule.head, exc))
+            with telemetry.span("rtec.rule") as rsp:
+                if rsp.enabled:
+                    rsp.set(head=term_to_str(rule.head), kind="terminatedAt")
+                try:
+                    for pair, time in rule_firing_points(
+                        rule, stream, kb, store, window_start, window_end, require_ground=False
+                    ):
+                        pending.append((pair, time))
+                except EvaluationError as exc:
+                    if on_error is None:
+                        raise exc.with_context(rule_head=rule.head) from exc
+                    on_error("skipped rule %r: %s" % (rule.head, exc))
         non_ground: List[Tuple[Term, int]] = []
         for pattern, time in pending:
             if is_ground(pattern):
@@ -491,7 +498,58 @@ def _satisfy(
         yield from _satisfy(rest, extended, stream, kb, store, window_start, window_end)
 
 
+def _condition_class(compiled: CompiledLiteral, subst: Substitution) -> str:
+    """The measured cost class of one condition at evaluation time.
+
+    Mirrors :func:`repro.analysis.costmodel.condition_class` — the
+    holdsAt ground/enumerating split is decided on the actual
+    substitution, which is exactly the boundness the static analysis
+    approximates.
+    """
+    tag = compiled.tag
+    literal = compiled.literal
+    if tag == COMPARE:
+        return "compare"
+    if tag == HAPPENS:
+        return "happensat.neg" if literal.negated else "happensat"
+    if tag == HOLDS:
+        if is_ground(subst.resolve(literal.term.args[0])):  # type: ignore[union-attr]
+            return "holdsat.ground"
+        return "holdsat.enum"
+    return "background.neg" if literal.negated else "background"
+
+
 def _satisfy_one(
+    compiled: CompiledLiteral,
+    subst: Substitution,
+    stream: EventStream,
+    kb: KnowledgeBase,
+    store: FluentStore,
+    window_start: int,
+    window_end: int,
+) -> Iterator[Substitution]:
+    if telemetry.is_enabled():
+        # Condition-class selectivity counters feed the measured cost
+        # model (repro.analysis.costmodel): attempts vs yielded
+        # substitutions per class, attributed to the enclosing rtec.rule
+        # span. Only ever active under an installed tracer.
+        cls = _condition_class(compiled, subst)
+        telemetry.count("cond.%s.eval" % cls)
+        solutions = 0
+        for extended in _satisfy_one_inner(
+            compiled, subst, stream, kb, store, window_start, window_end
+        ):
+            solutions += 1
+            yield extended
+        if solutions:
+            telemetry.count("cond.%s.sol" % cls, solutions)
+        return
+    yield from _satisfy_one_inner(
+        compiled, subst, stream, kb, store, window_start, window_end
+    )
+
+
+def _satisfy_one_inner(
     compiled: CompiledLiteral,
     subst: Substitution,
     stream: EventStream,

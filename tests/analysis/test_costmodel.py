@@ -1,0 +1,164 @@
+"""Measured condition-cost models: classification, building, serialisation."""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis.costmodel import (
+    CONDITION_CLASSES,
+    DEFAULT_EXPANSIONS,
+    MIN_SAMPLES,
+    STATIC_RANKS,
+    CostModel,
+    condition_class,
+    measure_cost_model,
+)
+from repro.logic.parser import parse_rule
+from repro.logic.terms import term_variables
+
+
+def _classes(rule_text):
+    """The condition class of each body literal, threading bound variables
+    left to right the way the evaluator does."""
+    rule = parse_rule(rule_text)
+    bound = set(term_variables(rule.head))
+    result = []
+    for literal in rule.body:
+        result.append(condition_class(literal, bound))
+        if not literal.negated:
+            bound |= set(term_variables(literal.term))
+    return result
+
+
+class TestConditionClass:
+    def test_classifies_a_mixed_body(self):
+        assert _classes(
+            "initiatedAt(f(V)=true, T) :- "
+            "happensAt(e(V, S), T), S > 5, areaType(A, B), "
+            "holdsAt(g(V)=true, T), holdsAt(h(V, W)=true, T), "
+            "not happensAt(x(V), T), not areaType(A, B)."
+        ) == [
+            "happensat",
+            "compare",
+            "background",
+            "holdsat.ground",
+            "holdsat.enum",
+            "happensat.neg",
+            "background.neg",
+        ]
+
+    def test_static_ranks_cover_every_class(self):
+        assert set(STATIC_RANKS) == set(CONDITION_CLASSES)
+        assert set(DEFAULT_EXPANSIONS) == set(CONDITION_CLASSES)
+
+
+def _span(name="rtec.rule", counters=None, attrs=None, children=(), duration=0.5):
+    return SimpleNamespace(
+        name=name,
+        counters=counters or {},
+        attrs=attrs or {},
+        children=list(children),
+        duration=duration,
+    )
+
+
+class TestFromReport:
+    def test_counters_become_ranks_and_samples(self):
+        leaf = _span(
+            name="rtec.window",
+            counters={
+                "cond.compare.eval": 100,
+                "cond.compare.sol": 30,
+                "cond.happensat.eval": 50,
+                "cond.happensat.sol": 120,
+            },
+        )
+        rule = _span(
+            name="rtec.rule",
+            attrs={"head": "initiatedAt(f(V)=true, T)"},
+            children=[leaf],
+            duration=1.25,
+        )
+        report = SimpleNamespace(roots=[rule])
+        model = CostModel.from_report(report, source="test")
+        assert model.ranks["compare"] == pytest.approx(0.3)
+        assert model.ranks["happensat"] == pytest.approx(2.4)
+        assert model.samples["compare"] == (100, 30)
+        assert model.rule_seconds["initiatedAt(f(V)=true, T)"] == pytest.approx(1.25)
+        assert model.source == "test"
+        # Measured order: compare filters, happensat fans out.
+        assert model.rank("compare") < model.rank("happensat")
+
+    def test_undersampled_classes_keep_their_prior(self):
+        leaf = _span(
+            name="rtec.window",
+            counters={
+                "cond.background.eval": MIN_SAMPLES - 1,
+                "cond.background.sol": 0,
+            },
+        )
+        report = SimpleNamespace(roots=[_span(children=[leaf])])
+        model = CostModel.from_report(report)
+        assert "background" not in model.ranks
+        assert model.samples["background"] == (MIN_SAMPLES - 1, 0)
+        assert model.rank("background") == DEFAULT_EXPANSIONS["background"]
+
+
+class TestSerialisation:
+    def _model(self):
+        return CostModel(
+            ranks={"compare": 0.25, "happensat": 1.5},
+            samples={"compare": (40, 10)},
+            rule_seconds={"head": 0.75},
+            source="unit",
+        )
+
+    def test_json_roundtrip(self):
+        model = self._model()
+        clone = CostModel.from_dict(json.loads(model.to_json()))
+        assert clone == model
+
+    def test_key_is_order_independent(self):
+        forward = CostModel(ranks={"a": 1.0, "b": 2.0})
+        backward = CostModel(ranks={"b": 2.0, "a": 1.0})
+        assert forward.key() == backward.key()
+        assert hash(forward.key()) == hash(backward.key())
+
+    def test_describe_mentions_every_class(self):
+        text = self._model().describe()
+        for cls in CONDITION_CLASSES:
+            assert cls in text
+
+
+class TestMeasure:
+    def test_profiled_run_yields_a_usable_model(self, small_dataset, gold_description):
+        from repro.rtec import RTECEngine
+
+        engine = RTECEngine(
+            gold_description, small_dataset.kb, small_dataset.vocabulary
+        )
+        model = measure_cost_model(
+            engine,
+            small_dataset.stream,
+            small_dataset.input_fluents,
+            window=600,
+        )
+        assert model.source == "profiled"
+        assert model.ranks, "the gold workload must exercise some classes"
+        assert model.rule_seconds
+        for cls, (attempts, _solutions) in model.samples.items():
+            assert cls in CONDITION_CLASSES
+            assert attempts > 0
+
+    def test_profiling_leaves_no_ambient_tracer(self, small_dataset, gold_description):
+        from repro import telemetry
+        from repro.rtec import RTECEngine
+
+        engine = RTECEngine(
+            gold_description, small_dataset.kb, small_dataset.vocabulary
+        )
+        measure_cost_model(
+            engine, small_dataset.stream, small_dataset.input_fluents, window=600
+        )
+        assert not telemetry.is_enabled()

@@ -2,13 +2,23 @@
 
 The rename fixers are covered by the correction tests; these exercise the
 semantic layer's machine-applicable fixes end to end — from a lint report
-over a corrupted description to the repaired rule list.
+over a corrupted description to the repaired rule list — plus the
+determinism and idempotence contract of ``apply_fixes`` under
+hypothesis-random fix batches.
 """
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.analysis import analyse_text
 from repro.analysis.diagnostics import Diagnostic, Fix
-from repro.analysis.fixers import apply_fixes, structural_fixes
-from repro.logic.parser import parse_rule
+from repro.analysis.fixers import (
+    apply_fixes,
+    normalise_rename_map,
+    structural_fixes,
+)
+from repro.logic.parser import parse_program, parse_rule
+from repro.logic.pretty import literal_to_str, term_to_str
 from repro.maritime import MARITIME_VOCABULARY, gold_event_description
 from repro.rtec import EventDescription
 
@@ -102,3 +112,130 @@ class TestLintRoundTrip:
 
         after = analyse_text(program_to_str(fixed), MARITIME_VOCABULARY)
         assert not after.by_code("RTEC024")
+
+
+class TestNormaliseRenameMap:
+    def test_chains_collapse(self):
+        assert normalise_rename_map({"a": "b", "b": "c"}) == {"a": "c", "b": "c"}
+
+    def test_cycles_are_dropped(self):
+        assert normalise_rename_map({"a": "b", "b": "a"}) == {}
+
+    def test_identity_entries_are_dropped(self):
+        assert normalise_rename_map({"a": "a", "b": "c"}) == {"b": "c"}
+
+    @given(
+        mapping=st.dictionaries(
+            st.sampled_from("abcdef"), st.sampled_from("abcdef"), max_size=6
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_result_is_idempotent_as_a_map(self, mapping):
+        resolved = normalise_rename_map(mapping)
+        # No value is itself a key: applying the map twice equals once.
+        assert not set(resolved.values()) & set(resolved)
+        # Normalising an already-normal map changes nothing.
+        assert normalise_rename_map(resolved) == resolved
+
+
+# A fixed rule set whose heads and conditions are pairwise structurally
+# distinct under *any* renaming of the names below (different arities,
+# fluent values and negation flags, not just different names), so no
+# rename can make two spans render identically — the precondition for the
+# analyser's accurate span renderings to guarantee idempotence. (E.g. if
+# two heads differed only in functor, a rename aliasing them would let a
+# remove-rule span recorded for one fire on the other after removal
+# shifts the indices.)
+_BASE_RULES_TEXT = """
+initiatedAt(alpha(V)=true, T) :-
+    happensAt(beta(V), T),
+    holdsAt(gamma(V, W)=high, T).
+
+terminatedAt(alpha(V)=true, T) :-
+    happensAt(delta(V, epsilon), T).
+
+initiatedAt(gamma(V, X)=high, T) :-
+    happensAt(zeta(V, X), T),
+    X > 3,
+    not holdsAt(alpha(V)=true, T).
+"""
+
+_NAMES = ("alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta")
+
+_rename_fixes = st.lists(
+    st.tuples(
+        st.sampled_from(("rename-functor", "rename-constant")),
+        st.sampled_from(_NAMES),
+        st.sampled_from(_NAMES),
+    ),
+    max_size=6,
+)
+_structural_picks = st.lists(
+    st.tuples(
+        st.sampled_from(("drop-condition", "remove-rule")),
+        st.integers(0, 4),  # rule index, may be out of range
+        st.integers(0, 3),  # condition index, may be out of range
+    ),
+    max_size=4,
+)
+
+
+def _build_diagnostics(rules, renames, structural):
+    diagnostics = []
+    for kind, old, new in renames:
+        diagnostics.append(
+            Diagnostic("naming", "m", fix=Fix(kind, old, new))
+        )
+    for kind, rule_index, condition_index in structural:
+        if kind == "drop-condition":
+            old = ""
+            if rule_index < len(rules) and condition_index < len(
+                rules[rule_index].body
+            ):
+                old = literal_to_str(rules[rule_index].body[condition_index])
+            diagnostics.append(
+                Diagnostic(
+                    "subsumed-condition",
+                    "m",
+                    rule_index=rule_index,
+                    condition_index=condition_index,
+                    fix=Fix("drop-condition", old, ""),
+                )
+            )
+        else:
+            old = ""
+            if rule_index < len(rules):
+                old = term_to_str(rules[rule_index].head)
+            diagnostics.append(
+                Diagnostic(
+                    "contradictory-rule",
+                    "m",
+                    rule_index=rule_index,
+                    fix=Fix("remove-rule", old, ""),
+                )
+            )
+    return diagnostics
+
+
+class TestApplyFixesProperties:
+    @given(renames=_rename_fixes, structural=_structural_picks)
+    @settings(max_examples=150, deadline=None)
+    def test_idempotent(self, renames, structural):
+        rules = parse_program(_BASE_RULES_TEXT)
+        diagnostics = _build_diagnostics(rules, renames, structural)
+        once = apply_fixes(rules, diagnostics)
+        twice = apply_fixes(once, diagnostics)
+        assert twice == once
+
+    @given(
+        renames=_rename_fixes,
+        structural=_structural_picks,
+        seed=st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_deterministic_under_shuffling(self, renames, structural, seed):
+        rules = parse_program(_BASE_RULES_TEXT)
+        diagnostics = _build_diagnostics(rules, renames, structural)
+        shuffled = list(diagnostics)
+        seed.shuffle(shuffled)
+        assert apply_fixes(rules, shuffled) == apply_fixes(rules, diagnostics)

@@ -11,6 +11,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.analysis.costmodel import CONDITION_CLASSES, CostModel
 from repro.analysis.optimize import optimise_description
 from repro.fleet import FLEET_VOCABULARY, build_fleet_dataset, fleet_gold_event_description
 from repro.intervals import IntervalList
@@ -288,6 +289,65 @@ class TestPropertyEquivalence:
         plain = engine.recognise(stream, fluents)
         fast = engine.recognise(stream, fluents, optimise=True)
         assert dict(fast.items()) == dict(plain.items())
+
+
+class TestMeasuredCostModel:
+    """Profile-guided reordering: any rank table preserves semantics.
+
+    The binding-order validity constraint bounds what Phase C may reorder,
+    so recognition must be byte-identical under *every* cost model — the
+    static heuristic, hypothesis-random rank tables, and a genuinely
+    measured one.
+    """
+
+    @given(
+        raw_events=_events,
+        raw_proximity=_proximity,
+        ranks=st.dictionaries(
+            st.sampled_from(CONDITION_CLASSES),
+            st.floats(0, 10, allow_nan=False),
+            max_size=len(CONDITION_CLASSES),
+        ),
+        mutation=st.integers(0, len(MUTATIONS) - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_rank_table_matches_plain(
+        self, raw_events, raw_proximity, ranks, mutation
+    ):
+        stream, fluents = _build_input(raw_events, raw_proximity)
+        description = EventDescription.from_text(MUTATIONS[mutation])
+        engine = RTECEngine(description, strict=False)
+        plain = engine.recognise(stream, fluents, window=20, step=5)
+        cost_model = CostModel(ranks=ranks, source="hypothesis")
+        fast = engine.optimised_for(fluents, cost_model=cost_model).recognise(
+            stream, fluents, window=20, step=5
+        )
+        assert dict(fast.items()) == dict(plain.items())
+
+    def test_measured_model_matches_plain(self):
+        from repro.analysis.costmodel import measure_cost_model
+
+        dataset, engine = _maritime()
+        cost_model = measure_cost_model(
+            engine, dataset.stream, dataset.input_fluents, window=600
+        )
+        assert cost_model.ranks  # the profiled run produced measurements
+        plain = engine.recognise(dataset.stream, dataset.input_fluents, window=600)
+        fast = engine.optimised_for(
+            dataset.input_fluents, cost_model=cost_model
+        ).recognise(dataset.stream, dataset.input_fluents, window=600)
+        assert fast.to_json() == plain.to_json()
+
+    def test_clones_cached_per_cost_model(self):
+        dataset, engine = _maritime()
+        static = engine.optimised_for(dataset.input_fluents)
+        cost_model = CostModel(ranks={"compare": 0.5}, source="test")
+        measured = engine.optimised_for(dataset.input_fluents, cost_model=cost_model)
+        assert measured is not static
+        assert (
+            engine.optimised_for(dataset.input_fluents, cost_model=cost_model)
+            is measured
+        )
 
 
 @pytest.mark.parametrize("model", ("o1", "gpt-4o", "llama-3", "gemma-2"))

@@ -163,3 +163,119 @@ class TestSarif:
             rule = rule_for(code)
             assert rule is not None
             assert rule.help_uri.endswith(code.lower())
+
+    def test_rule_metadata_carries_repair_properties(self):
+        sarif = to_sarif(LintReport([]))
+        by_id = {
+            rule["id"]: rule["properties"]
+            for rule in sarif["runs"][0]["tool"]["driver"]["rules"]
+        }
+        assert by_id["RTEC016"] == {"repair": "auto", "fixable": True}
+        assert by_id["RTEC015"] == {"repair": None, "fixable": False}
+        assert by_id["RTEC003"] == {"repair": "prompt", "fixable": False}
+
+
+def _apply_sarif_fix(text, fix_object):
+    """Apply one SARIF fix textually: replacements bottom-up, whole lines."""
+    lines = text.splitlines()
+    replacements = []
+    for change in fix_object["artifactChanges"]:
+        replacements.extend(change["replacements"])
+    for replacement in sorted(
+        replacements,
+        key=lambda r: r["deletedRegion"]["startLine"],
+        reverse=True,
+    ):
+        start = replacement["deletedRegion"]["startLine"]
+        end = replacement["deletedRegion"]["endLine"]
+        inserted = replacement["insertedContent"]["text"]
+        lines[start - 1 : end] = inserted.splitlines() if inserted else []
+    return "\n".join(lines)
+
+
+class TestSarifFixes:
+    """SARIF ``fixes`` objects: schema shape and textual equivalence."""
+
+    def _subsumed(self):
+        from repro.maritime import MARITIME_VOCABULARY, gold_event_description
+
+        text = gold_event_description().to_text().replace(
+            "    Speed>=MovingMin,",
+            "    Speed>=MovingMin,\n    Speed>MovingMin,",
+            1,
+        )
+        report = analyse_text(text, MARITIME_VOCABULARY, source="mutated.prolog")
+        return text, report
+
+    def test_fix_object_shape(self):
+        text, report = self._subsumed()
+        sarif = to_sarif(report, source_text=text)
+        results = sarif["runs"][0]["results"]
+        fixed = [r for r in results if r["ruleId"] == "RTEC021" and "fixes" in r]
+        assert fixed, "the subsumed condition must carry a fixes object"
+        (fix_object,) = fixed[0]["fixes"]
+        assert fix_object["description"]["text"]
+        (change,) = fix_object["artifactChanges"]
+        assert change["artifactLocation"]["uri"] == "mutated.prolog"
+        for replacement in change["replacements"]:
+            region = replacement["deletedRegion"]
+            assert region["startLine"] <= region["endLine"]
+            assert "text" in replacement["insertedContent"]
+
+    def test_without_source_text_no_fixes_are_emitted(self):
+        _text, report = self._subsumed()
+        sarif = to_sarif(report)
+        for result in sarif["runs"][0]["results"]:
+            assert "fixes" not in result
+
+    def test_textual_application_matches_apply_fixes(self):
+        from repro.analysis.fixers import apply_fixes
+        from repro.logic.parser import parse_program
+        from repro.logic.pretty import program_to_str
+
+        text, report = self._subsumed()
+        sarif = to_sarif(report, source_text=text)
+        results = sarif["runs"][0]["results"]
+        fixed = next(r for r in results if r["ruleId"] == "RTEC021" and "fixes" in r)
+        diagnostic = next(d for d in report.diagnostics if d.code == "RTEC021")
+        patched = _apply_sarif_fix(text, fixed["fixes"][0])
+        expected = apply_fixes(parse_program(text), [diagnostic])
+        assert program_to_str(parse_program(patched)) == program_to_str(expected)
+
+    def test_remove_rule_fix_deletes_the_region(self):
+        from repro.analysis.fixers import apply_fixes
+        from repro.logic.parser import parse_program
+        from repro.logic.pretty import program_to_str
+        from repro.maritime import MARITIME_VOCABULARY, gold_event_description
+
+        text = gold_event_description().to_text() + (
+            "\nterminatedAt(movingSpeed(Vessel)=warp, T) :-\n"
+            "    happensAt(gap_start(Vessel), T).\n"
+        )
+        report = analyse_text(text, MARITIME_VOCABULARY, source="dead.prolog")
+        sarif = to_sarif(report, source_text=text)
+        results = sarif["runs"][0]["results"]
+        fixed = next(r for r in results if r["ruleId"] == "RTEC024" and "fixes" in r)
+        (fix_object,) = fixed["fixes"]
+        (replacement,) = fix_object["artifactChanges"][0]["replacements"]
+        assert replacement["insertedContent"]["text"] == ""
+        diagnostic = next(d for d in report.diagnostics if d.code == "RTEC024")
+        patched = _apply_sarif_fix(text, fix_object)
+        expected = apply_fixes(parse_program(text), [diagnostic])
+        assert program_to_str(parse_program(patched)) == program_to_str(expected)
+
+    def test_rename_fix_rewrites_every_affected_rule(self):
+        from repro.maritime import MARITIME_VOCABULARY, gold_event_description
+
+        text = gold_event_description().to_text().replace("gap_start", "gapStart")
+        report = analyse_text(text, MARITIME_VOCABULARY, source="renamed.prolog")
+        sarif = to_sarif(report, source_text=text)
+        results = sarif["runs"][0]["results"]
+        fixed = [r for r in results if r["ruleId"] == "RTEC016" and "fixes" in r]
+        assert fixed
+        (fix_object,) = fixed[0]["fixes"]
+        replacements = fix_object["artifactChanges"][0]["replacements"]
+        assert len(replacements) == text.count("gapStart(")
+        for replacement in replacements:
+            assert "gap_start" in replacement["insertedContent"]["text"]
+            assert "gapStart" not in replacement["insertedContent"]["text"]

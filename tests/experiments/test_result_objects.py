@@ -41,3 +41,31 @@ class TestRobustnessResult:
         table = format_table(result)
         assert "o1" in table
         assert "0.50±0.50" in table
+
+
+class TestRepairExperiment:
+    def test_maritime_single_combo(self, small_dataset):
+        from repro.experiments.repair import format_table, run_repair_experiment
+
+        result = run_repair_experiment(
+            small_dataset.kb, models=("gemma-2",), schemes=("few-shot",)
+        )
+        entry = result.entry("gemma-2", "few-shot")
+        assert entry.result.status in ("clean", "converged", "fixpoint")
+        assert entry.improvement >= -1e-9
+        assert entry.trajectory[0] == entry.result.initial_similarity
+        assert entry.trajectory[-1] == entry.result.final_similarity
+        table = format_table(result)
+        assert "gemma-2" in table and "trajectory" in table
+        data = result.to_dict()
+        assert data["entries"][0]["model"] == "gemma-2"
+        with pytest.raises(KeyError):
+            result.entry("gpt-4", "few-shot")
+
+    def test_fleet_single_combo(self):
+        from repro.experiments.repair import run_fleet_repair_experiment
+
+        result = run_fleet_repair_experiment(models=("gpt-4",), schemes=("few-shot",))
+        entry = result.entry("gpt-4", "few-shot")
+        assert len(entry.result.iterations) <= 5
+        assert entry.improvement >= -1e-9

@@ -235,3 +235,51 @@ class TestFigures:
         out = capsys.readouterr().out
         assert "o1□" in out
         assert "top-3:" in out
+
+
+class TestLintExplain:
+    def test_explain_prints_registry_entry(self, capsys):
+        assert main(["lint", "--explain", "RTEC016"]) == 0
+        out = capsys.readouterr().out
+        assert "RTEC016" in out
+        assert "naming" in out
+        assert "severity" in out
+        assert "paper category" in out
+        assert "auto-fix" in out and "yes" in out
+        assert "repair" in out and "auto" in out
+
+    def test_explain_not_repairable_code(self, capsys):
+        assert main(["lint", "--explain", "RTEC015"]) == 0
+        out = capsys.readouterr().out
+        assert "not repairable" in out
+
+    def test_explain_unknown_code_exits_2(self, capsys):
+        assert main(["lint", "--explain", "RTEC999"]) == 2
+        assert "unknown diagnostic code" in capsys.readouterr().err
+
+
+class TestRepair:
+    def test_single_model_table(self, capsys):
+        assert main(
+            ["repair", "--model", "gemma-2", "--scheme", "few-shot",
+             "--scale", "0.1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "gemma-2" in out
+        assert "trajectory" in out
+        assert "all >= single-shot baseline: yes" in out
+        assert "iteration 1" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(
+            ["repair", "--model", "mistral", "--scheme", "chain-of-thought",
+             "--scale", "0.1", "--json"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["all_at_least_baseline"] is True
+        (entry,) = data["entries"]
+        assert entry["model"] == "mistral"
+        assert entry["repair"]["status"] in ("clean", "converged", "fixpoint")
+        assert len(entry["trajectory"]) == len(entry["repair"]["iterations"]) + 1
