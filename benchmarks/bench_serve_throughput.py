@@ -13,10 +13,16 @@ maritime workload through a live loopback TCP service and measures:
 * end-to-end recognition rate (events per second including the drain to
   the final query), reported via ``extra_info`` for the benchmark JSON.
 
+The cluster bench pumps one soak workload through a router-fronted
+worker fleet at 1 and at 4 workers and reports the aggregate throughput
+ratio; on runners with at least 4 cores the ratio is asserted >= the
+scaling floor (x2), elsewhere it is recorded in ``extra_info`` only.
+
 Run:  pytest benchmarks/bench_serve_throughput.py --benchmark-only -s
 """
 
 import asyncio
+import os
 
 import pytest
 
@@ -24,6 +30,10 @@ from repro.serve import SessionConfig, build_workload, run_replay
 
 #: The acceptance floor for sustained protocol ingest, events/second.
 INGEST_FLOOR = 10_000
+
+#: Aggregate throughput at 4 workers must beat 1 worker by this factor
+#: (asserted only on runners with >= 4 cores).
+CLUSTER_SCALING_FLOOR = 2.0
 
 
 @pytest.fixture(scope="module")
@@ -102,3 +112,55 @@ class TestServeThroughput:
         # yet every event was eventually accepted.
         assert report.queue_peak <= high_water
         assert report.events_accepted == len(maritime_workload.events)
+
+
+class TestClusterScaling:
+    def test_bench_multi_worker_scaling(self, benchmark, capsys):
+        from repro.fleet import build_fleet_dataset, fleet_gold_event_description
+        from repro.serve.cluster import gold_engine_spec, run_cluster_replay
+
+        fleet = build_fleet_dataset()
+        # Recognition-heavy: batched ingest amortises the router's
+        # per-line cost, so aggregate throughput is governed by worker
+        # CPU — the thing adding workers parallelises.
+        workload = build_workload(
+            fleet.stream, fleet.input_fluents, fleet_gold_event_description(),
+            sessions=4, repeat=40,
+        )
+        spec = gold_engine_spec("fleet")
+        config = SessionConfig(window=600, step=300, high_water=1 << 16)
+
+        def run(workers):
+            return asyncio.run(run_cluster_replay(
+                spec, workload, config, workers=workers, mode="batched",
+                batch_size=64,
+            ))
+
+        def rate(outcome):
+            report = outcome.final_report
+            return len(workload.events) / (
+                report.ingest_seconds + report.drain_seconds
+            )
+
+        single = run(1)
+        quad = benchmark.pedantic(lambda: run(4), rounds=1, iterations=1)
+        ratio = rate(quad) / rate(single)
+        cores = os.cpu_count() or 1
+        benchmark.extra_info["events"] = len(workload.events)
+        benchmark.extra_info["sessions"] = len(workload.sessions)
+        benchmark.extra_info["cores"] = cores
+        benchmark.extra_info["rate_1_worker"] = round(rate(single), 1)
+        benchmark.extra_info["rate_4_workers"] = round(rate(quad), 1)
+        benchmark.extra_info["scaling_ratio"] = round(ratio, 3)
+        with capsys.disabled():
+            print(
+                "\n=== cluster scaling: %d events, 1 worker %.0f ev/s vs "
+                "4 workers %.0f ev/s -> x%.2f (%d cores) ==="
+                % (len(workload.events), rate(single), rate(quad), ratio, cores)
+            )
+        assert quad.final_report.events_accepted == len(workload.events)
+        if cores >= 4:
+            assert ratio >= CLUSTER_SCALING_FLOOR, (
+                "4-worker aggregate throughput x%.2f is below the x%.1f floor"
+                % (ratio, CLUSTER_SCALING_FLOOR)
+            )

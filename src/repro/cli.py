@@ -315,6 +315,11 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="distribute sessions across N shared-nothing worker processes "
+        "behind a router (default 1: single in-process service)",
+    )
     parser.add_argument("--window", type=int, default=600, help="window extent (omega)")
     parser.add_argument(
         "--step", type=int, default=None,
@@ -821,6 +826,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve import RecognitionServer, SessionManager
 
+    if args.workers > 1:
+        return _cmd_serve_cluster(args)
     _stream, _fluents, _description, make_engine = _serving_dataset(args)
     config = _serving_config(args)
     sessions = getattr(args, "sessions", 1)
@@ -836,9 +843,68 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         except ValueError:
             print("error: --tcp expects [HOST:]PORT, got %r" % args.tcp, file=sys.stderr)
             return 2
-        asyncio.run(server.serve_tcp(host, port))
+        serve = server.serve_tcp(host, port)
     else:
-        asyncio.run(server.serve_stdio())
+        serve = server.serve_stdio()
+
+    async def _run() -> None:
+        server.install_signal_handlers()
+        await serve
+
+    asyncio.run(_run())
+    return 0
+
+
+def _gold_engine_spec(args: argparse.Namespace):
+    from repro.serve.cluster import gold_engine_spec
+
+    if args.gold == "maritime":
+        return gold_engine_spec(
+            "maritime", seed=args.seed, scale=args.scale, traffic=args.traffic
+        )
+    return gold_engine_spec(args.gold)
+
+
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.cluster import ClusterRouter
+
+    if args.tcp is None:
+        print("error: --workers > 1 requires --tcp (stdio cannot be routed)",
+              file=sys.stderr)
+        return 2
+    host, _, port_text = args.tcp.rpartition(":")
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        print("error: --tcp expects [HOST:]PORT, got %r" % args.tcp, file=sys.stderr)
+        return 2
+    router = ClusterRouter(
+        _gold_engine_spec(args),
+        _serving_config(args),
+        workers=args.workers,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+
+    async def _run() -> None:
+        bound = await router.start(host, port)
+        router.install_signal_handlers()
+        try:
+            await router.assign_sessions(
+                _session_names(args.sessions), restore=args.restore
+            )
+            print(
+                "serving RTEC recognition on %s:%d (%d workers)"
+                % (host, bound, len(router.workers)),
+                file=sys.stderr,
+            )
+            await router.shutdown_requested.wait()
+        finally:
+            await router.stop()
+
+    asyncio.run(_run())
     return 0
 
 
@@ -883,19 +949,34 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     if args.kill_at is not None and config.checkpoint_every <= 0:
         config.checkpoint_every = 1
 
-    def engine_factory():
-        return {name: make_engine() for name in workload.sessions}
+    if args.workers > 1:
+        from repro.serve.cluster import run_cluster_replay
 
-    outcome = asyncio.run(run_replay(
-        engine_factory,
-        workload,
-        config,
-        checkpoint_dir=checkpoint_dir,
-        kill_at=args.kill_at,
-        verify=args.verify,
-        batch_size=args.batch_size,
-        mode=args.mode,
-    ))
+        outcome = asyncio.run(run_cluster_replay(
+            _gold_engine_spec(args),
+            workload,
+            config,
+            workers=args.workers,
+            checkpoint_dir=checkpoint_dir,
+            kill_at=args.kill_at,
+            verify=args.verify,
+            batch_size=args.batch_size,
+            mode=args.mode,
+        ))
+    else:
+        def engine_factory():
+            return {name: make_engine() for name in workload.sessions}
+
+        outcome = asyncio.run(run_replay(
+            engine_factory,
+            workload,
+            config,
+            checkpoint_dir=checkpoint_dir,
+            kill_at=args.kill_at,
+            verify=args.verify,
+            batch_size=args.batch_size,
+            mode=args.mode,
+        ))
     report = outcome.final_report
     summary = {
         "gold": args.gold,
@@ -904,6 +985,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         "window": config.window,
         "step": config.resolved_step(),
         "mode": args.mode,
+        "workers": args.workers,
         "events_sent": report.events_sent,
         "events_accepted": report.events_accepted,
         "rejections": report.rejections,
@@ -914,21 +996,31 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         "queue_peak": report.queue_peak,
         "detected_fvps": len(outcome.merged),
         "killed_at_event": outcome.killed_at_event,
-        "checkpoints_restored": outcome.checkpoints_restored,
         "verified": outcome.verified,
         "verify_detail": outcome.verify_detail,
     }
+    if args.workers > 1:
+        summary["killed_worker"] = outcome.killed_worker
+        summary["restored_sessions"] = outcome.restored_sessions
+        summary["placement"] = outcome.placement
+    else:
+        summary["checkpoints_restored"] = outcome.checkpoints_restored
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
         for key in (
-            "gold", "sessions", "events", "window", "step", "mode",
+            "gold", "sessions", "events", "window", "step", "mode", "workers",
             "events_sent", "events_accepted", "rejections", "retries",
             "ingest_seconds", "ingest_rate", "drain_seconds", "queue_peak",
             "detected_fvps", "killed_at_event",
         ):
             print("%-22s %s" % (key, summary[key]))
-        if outcome.killed_at_event is not None:
+        if args.workers > 1:
+            print("%-22s %s" % ("placement", summary["placement"]))
+            if outcome.killed_at_event is not None:
+                print("%-22s %s" % ("killed_worker", outcome.killed_worker))
+                print("%-22s %s" % ("restored_sessions", outcome.restored_sessions))
+        elif outcome.killed_at_event is not None:
             print("%-22s %s" % ("checkpoints_restored", outcome.checkpoints_restored))
         if args.verify:
             print("%-22s %s" % ("verified", outcome.verified))

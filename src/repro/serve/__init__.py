@@ -16,7 +16,11 @@ Layering, bottom up:
   loop, the deterministic window-advance schedule;
 * :mod:`repro.serve.server` — asyncio transports and request dispatch;
 * :mod:`repro.serve.loadgen` / :mod:`repro.serve.replay` — workload
-  construction, load measurement, and kill-and-restore drills.
+  construction, load measurement, and kill-and-restore drills;
+* :mod:`repro.serve.cluster` — the distributed tier: a router in front
+  of N shared-nothing worker processes, with checkpoint-lease-fenced
+  session migration, heartbeat-driven failover and kill-a-worker drills
+  (imported on demand; nothing above this line depends on it).
 """
 
 from repro.serve.checkpoint import (
@@ -25,6 +29,7 @@ from repro.serve.checkpoint import (
     CheckpointError,
     description_hash,
     latest_checkpoint,
+    latest_lease,
     list_checkpoints,
     load_checkpoint,
     write_checkpoint,
@@ -33,14 +38,25 @@ from repro.serve.loadgen import (
     LoadReport,
     ServiceClient,
     Workload,
+    build_soak_workload,
     build_workload,
     run_ingest,
 )
-from repro.serve.protocol import ProtocolError, decode_line, encode, parse_event_term
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_line,
+    encode,
+    parse_event_term,
+    read_protocol_lines,
+)
 from repro.serve.replay import (
     ReplayOutcome,
+    applied_event_offsets,
     drive_reference_session,
+    reference_merged,
     reference_result,
+    resume_workload,
     run_replay,
 )
 from repro.serve.server import RecognitionServer
@@ -51,6 +67,7 @@ __all__ = [
     "Checkpoint",
     "CheckpointError",
     "LoadReport",
+    "MAX_LINE_BYTES",
     "ManagedSession",
     "ProtocolError",
     "RecognitionServer",
@@ -59,16 +76,22 @@ __all__ = [
     "SessionConfig",
     "SessionManager",
     "Workload",
+    "applied_event_offsets",
+    "build_soak_workload",
     "build_workload",
     "decode_line",
     "description_hash",
     "drive_reference_session",
     "encode",
     "latest_checkpoint",
+    "latest_lease",
     "list_checkpoints",
     "load_checkpoint",
     "parse_event_term",
+    "read_protocol_lines",
+    "reference_merged",
     "reference_result",
+    "resume_workload",
     "run_ingest",
     "run_replay",
     "write_checkpoint",

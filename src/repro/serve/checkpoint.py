@@ -19,7 +19,15 @@ plus the bookkeeping a restart needs:
 * ``description_hash`` — SHA-256 of the event description's concrete
   syntax. Restoring onto a different description is refused: carried
   initiations and amalgamated intervals are only meaningful against the
-  rules that produced them.
+  rules that produced them;
+* ``owner`` / ``lease`` — optional cluster bookkeeping. ``owner`` names
+  the worker that wrote the file; ``lease`` is a monotonically increasing
+  fencing token bumped on every ownership transfer (migration or
+  crash-restore). A writer presenting a lease below the latest on-disk
+  lease is a zombie — its session was moved elsewhere while it was still
+  running — and the write is refused instead of clobbering the new
+  owner's state. Single-process serving omits both fields (``lease`` is
+  then 0) and keeps the unfenced fast path.
 
 Files are named ``<session>-<windows:08d>.json`` and written atomically
 (temp file + rename), so the latest complete checkpoint is always loadable
@@ -53,6 +61,7 @@ __all__ = [
     "CheckpointError",
     "description_hash",
     "latest_checkpoint",
+    "latest_lease",
     "list_checkpoints",
     "load_checkpoint",
     "snapshot_from_dict",
@@ -87,6 +96,8 @@ class Checkpoint:
     description_hash: str
     snapshot: SessionSnapshot
     path: Optional[str] = None
+    owner: Optional[str] = None
+    lease: int = 0
 
 
 # -- snapshot (de)serialization ------------------------------------------------
@@ -194,13 +205,28 @@ def write_checkpoint(
     windows: int,
     description_digest: str,
     keep: Optional[int] = None,
+    owner: Optional[str] = None,
+    lease: Optional[int] = None,
 ) -> str:
     """Write one checkpoint atomically; returns the file path.
 
     ``keep``, when given, prunes all but the newest ``keep`` checkpoints of
     the session after a successful write.
+
+    ``lease``, when given, enables write fencing: if the newest on-disk
+    checkpoint of the session carries a strictly greater lease, the session
+    has been handed to a new owner and this (stale) writer is refused with
+    :class:`CheckpointError`. ``owner`` labels the file with the writing
+    worker for diagnostics; neither field changes the snapshot payload.
     """
     os.makedirs(directory, exist_ok=True)
+    if lease is not None:
+        current = latest_lease(directory, session)
+        if current > lease:
+            raise CheckpointError(
+                "fenced: checkpoint %s lease %d is stale (disk lease is %d)"
+                % (session, lease, current)
+            )
     payload = {
         "version": CHECKPOINT_VERSION,
         "session": session,
@@ -209,6 +235,10 @@ def write_checkpoint(
         "description_hash": description_digest,
         "snapshot": snapshot_to_dict(snapshot),
     }
+    if owner is not None:
+        payload["owner"] = owner
+    if lease is not None:
+        payload["lease"] = lease
     path = os.path.join(directory, _checkpoint_name(session, windows))
     handle, temp_path = tempfile.mkstemp(
         prefix=".%s-" % session, suffix=".tmp", dir=directory
@@ -257,6 +287,26 @@ def latest_checkpoint(directory: str, session: str) -> Optional[str]:
     return found[-1][1] if found else None
 
 
+def latest_lease(directory: str, session: str) -> int:
+    """The fencing lease of the newest checkpoint of ``session`` (0 if none).
+
+    Unreadable files count as lease 0 rather than an error: fencing guards
+    against a *newer* owner, and a torn or missing file cannot prove one.
+    """
+    path = latest_checkpoint(directory, session)
+    if path is None:
+        return 0
+    try:
+        with open(path) as stream:
+            payload = json.load(stream)
+    except (OSError, ValueError):
+        return 0
+    try:
+        return int(payload.get("lease", 0))
+    except (TypeError, ValueError):
+        return 0
+
+
 def load_checkpoint(path: str) -> Checkpoint:
     try:
         with open(path) as stream:
@@ -277,6 +327,8 @@ def load_checkpoint(path: str) -> Checkpoint:
             description_hash=payload["description_hash"],
             snapshot=snapshot_from_dict(payload["snapshot"]),
             path=path,
+            owner=payload.get("owner"),
+            lease=int(payload.get("lease", 0)),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise CheckpointError("malformed checkpoint %s: %s" % (path, exc))

@@ -1,0 +1,45 @@
+"""Distributed serve tier: a router in front of shared-nothing workers.
+
+Where :mod:`repro.serve` hosts every session in one process,
+:mod:`repro.serve.cluster` splits the fleet across N worker *processes*
+(one event loop, one :class:`~repro.serve.sessions.SessionManager` each)
+behind a :class:`~repro.serve.cluster.router.ClusterRouter` speaking the
+same JSON-lines protocol, so clients cannot tell a cluster from a single
+process. Placement reuses :mod:`repro.rtec.partition`: sessions are
+entity-closed groups already, and the router maps each session to a
+worker by rendezvous hashing, so co-dependent entities always share a
+process and a dead worker reshuffles only its own sessions.
+
+The control plane (registration, heartbeats, ``attach``/``detach``
+verbs, checkpoint leases) lives in :mod:`~repro.serve.cluster.worker`
+and :mod:`~repro.serve.cluster.router`; kill-a-worker drills in
+:mod:`~repro.serve.cluster.replay`; picklable engine recipes for spawned
+workers in :mod:`~repro.serve.cluster.engines`.
+"""
+
+from repro.serve.cluster.engines import (
+    EngineSpec,
+    fleet_engine,
+    gold_engine_spec,
+    maritime_engine,
+    soak_description,
+    soak_engine,
+)
+from repro.serve.cluster.replay import ClusterReplayOutcome, run_cluster_replay
+from repro.serve.cluster.router import ClusterRouter, WorkerHandle
+from repro.serve.cluster.worker import WorkerServer, worker_main
+
+__all__ = [
+    "ClusterReplayOutcome",
+    "ClusterRouter",
+    "EngineSpec",
+    "WorkerHandle",
+    "WorkerServer",
+    "fleet_engine",
+    "gold_engine_spec",
+    "maritime_engine",
+    "run_cluster_replay",
+    "soak_description",
+    "soak_engine",
+    "worker_main",
+]

@@ -1,0 +1,186 @@
+"""Kill-a-worker drills: replay a workload through a live cluster.
+
+:func:`run_cluster_replay` is the cluster counterpart of
+:func:`repro.serve.replay.run_replay` — but where the single-process drill
+kills the *whole service*, this one kills an entire *worker process* with
+SIGKILL mid-run, lets the router restore the victim's sessions from their
+checkpoints onto the survivors (bumped leases and all), resumes ingest
+from the restored ``applied`` offsets, and with ``verify=True`` compares
+the final detections byte-for-byte against an uninterrupted single-process
+served run and against the direct :class:`~repro.rtec.session.RTECSession`
+reference — the distributed tier's strongest end-to-end statement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.rtec.engine import RTECEngine
+from repro.rtec.result import RecognitionResult
+from repro.serve.cluster.engines import EngineSpec
+from repro.serve.cluster.router import ClusterRouter
+from repro.serve.loadgen import LoadReport, ServiceClient, Workload, run_ingest
+from repro.serve.replay import (
+    applied_event_offsets,
+    reference_merged,
+    resume_workload,
+    run_replay,
+)
+from repro.serve.sessions import SessionConfig
+
+__all__ = ["ClusterReplayOutcome", "run_cluster_replay"]
+
+
+@dataclass
+class ClusterReplayOutcome:
+    """What a cluster replay run produced and measured."""
+
+    first_pass: LoadReport
+    resumed_pass: Optional[LoadReport]
+    merged: RecognitionResult
+    workers: int
+    killed_worker: Optional[str]
+    killed_at_event: Optional[int]
+    #: Sessions the failover restored onto survivors, with their new owners.
+    restored_sessions: Dict[str, str] = field(default_factory=dict)
+    placement: Dict[str, List[str]] = field(default_factory=dict)
+    verified: Optional[bool] = None
+    verify_detail: str = ""
+
+    @property
+    def final_report(self) -> LoadReport:
+        return self.resumed_pass if self.resumed_pass is not None else self.first_pass
+
+
+def _pick_victim(router: ClusterRouter) -> str:
+    """The live worker owning the most sessions (deterministic tie-break)."""
+    best: Optional[str] = None
+    for worker_id in router.live_workers():
+        owned = len(router.workers[worker_id].sessions)
+        if owned == 0:
+            continue
+        if best is None or owned > len(router.workers[best].sessions):
+            best = worker_id
+    if best is None:
+        raise RuntimeError("no live worker owns any session; nothing to kill")
+    return best
+
+
+async def run_cluster_replay(
+    engine_spec: EngineSpec,
+    workload: Workload,
+    config: SessionConfig,
+    workers: int = 4,
+    checkpoint_dir: Optional[str] = None,
+    kill_at: Optional[float] = None,
+    verify: bool = False,
+    batch_size: int = 512,
+    mode: str = "batched",
+) -> ClusterReplayOutcome:
+    """Pump ``workload`` through a worker fleet; optionally kill one worker.
+
+    ``kill_at`` is the fraction of events after which one whole worker —
+    the one owning the most sessions — is SIGKILLed. Requires a
+    ``checkpoint_dir`` and ``config.checkpoint_every > 0``: the router
+    restores the victim's sessions from their latest checkpoints onto the
+    survivors, and ingest resumes from the restored ``applied`` offsets
+    exactly as the single-process drill does.
+    """
+    kill_index: Optional[int] = None
+    if kill_at is not None:
+        if checkpoint_dir is None or config.checkpoint_every <= 0:
+            raise ValueError("kill_at needs checkpoint_dir and checkpoint_every > 0")
+        kill_index = max(0, min(len(workload.events), int(len(workload.events) * kill_at)))
+    router = ClusterRouter(
+        engine_spec, config, workers=workers, checkpoint_dir=checkpoint_dir
+    )
+    resumed_pass: Optional[LoadReport] = None
+    killed_worker: Optional[str] = None
+    restored: Dict[str, str] = {}
+    try:
+        port = await router.start()
+        await router.assign_sessions(list(workload.sessions))
+        client = await ServiceClient.connect("127.0.0.1", port)
+        try:
+            if kill_index is None:
+                first_pass = await run_ingest(
+                    client, workload, mode=mode, batch_size=batch_size
+                )
+                merged = first_pass.merged_result()
+            else:
+                truncated = Workload(
+                    sessions=workload.sessions,
+                    fluents=workload.fluents,
+                    events=workload.events[:kill_index],
+                    end_time=workload.end_time,
+                )
+                # Phase 1 is fully acknowledged before the kill, so the
+                # victim dies idle — what its checkpoints miss is exactly
+                # what the resume pass re-sends.
+                first_pass = await run_ingest(
+                    client, truncated, mode=mode, batch_size=batch_size,
+                    final_query=False,
+                )
+                killed_worker = _pick_victim(router)
+                orphaned = sorted(router.workers[killed_worker].sessions)
+                await router.kill_worker(killed_worker)
+                restored = {name: router.routes[name] for name in orphaned}
+                offsets = await applied_event_offsets(client, workload)
+                resumed = resume_workload(workload, offsets)
+                resumed_pass = await run_ingest(
+                    client, resumed, mode=mode, batch_size=batch_size
+                )
+                merged = resumed_pass.merged_result()
+        finally:
+            await client.close()
+        placement = router.placement()
+    finally:
+        await router.stop()
+    outcome = ClusterReplayOutcome(
+        first_pass=first_pass,
+        resumed_pass=resumed_pass,
+        merged=merged,
+        workers=workers,
+        killed_worker=killed_worker,
+        killed_at_event=kill_index,
+        restored_sessions=restored,
+        placement=placement,
+    )
+    if verify:
+        await _verify(outcome, engine_spec, workload, config, mode, batch_size)
+    return outcome
+
+
+async def _verify(
+    outcome: ClusterReplayOutcome,
+    engine_spec: EngineSpec,
+    workload: Workload,
+    config: SessionConfig,
+    mode: str,
+    batch_size: int,
+) -> None:
+    """Byte-equality against an uninterrupted single-process served run."""
+
+    def engine_factory() -> Dict[str, RTECEngine]:
+        return {name: engine_spec.create() for name in workload.sessions}
+
+    uninterrupted = await run_replay(
+        engine_factory, workload, config, mode=mode, batch_size=batch_size
+    )
+    expected = uninterrupted.merged.to_json()
+    actual = outcome.merged.to_json()
+    details = []
+    if actual == expected:
+        details.append("cluster run matches uninterrupted single-process run")
+        outcome.verified = True
+    else:
+        details.append("MISMATCH versus uninterrupted single-process run")
+        outcome.verified = False
+    reference = reference_merged(engine_factory, workload, config)
+    if actual == reference.to_json():
+        details.append("matches direct RTECSession reference")
+    else:
+        details.append("MISMATCH versus direct RTECSession reference")
+        outcome.verified = False
+    outcome.verify_detail = "; ".join(details)

@@ -39,22 +39,31 @@ reader, keeping the ingest budget per event in single-digit microseconds.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, AsyncIterator, Dict, Optional, Tuple
 
 from repro.logic.parser import ParseError, parse_term
 from repro.logic.terms import Compound, Term, intern_constant, is_ground
 
 __all__ = [
+    "MAX_LINE_BYTES",
     "ProtocolError",
     "decode_line",
     "encode",
     "error_response",
     "ok_response",
     "parse_event_term",
+    "read_protocol_lines",
     "require_intervals",
     "require_session",
     "require_time",
 ]
+
+#: Above this many bytes per line, the reader rejects the line (with a
+#: structured ``oversized`` error) instead of buffering it.
+MAX_LINE_BYTES = 1 << 20
+
+#: Read granularity of :func:`read_protocol_lines`.
+_CHUNK_BYTES = 1 << 16
 
 
 class ProtocolError(ValueError):
@@ -78,6 +87,55 @@ def decode_line(line: bytes) -> Dict[str, Any]:
     if not isinstance(kind, str):
         raise ProtocolError("bad-request", "missing message 'type'")
     return message
+
+
+async def read_protocol_lines(
+    reader: "Any", limit: int = MAX_LINE_BYTES
+) -> AsyncIterator[Optional[bytes]]:
+    """Yield request lines from an asyncio stream reader, surviving junk.
+
+    Unlike ``StreamReader.readline`` with a ``limit`` — which raises and
+    leaves the stream misframed mid-line — this scanner reads in chunks,
+    splits on newlines itself, and on an oversized line *discards up to the
+    next newline* and yields ``None`` exactly once, so the caller can send
+    a structured rejection and keep the connection. Ordinary lines are
+    yielded without their trailing newline; empty lines are skipped. The
+    final unterminated line (EOF without a newline) is yielded as-is.
+    """
+    buffer = bytearray()
+    overflowed = False
+    while True:
+        chunk = await reader.read(_CHUNK_BYTES)
+        if not chunk:
+            break
+        buffer.extend(chunk)
+        start = 0
+        while True:
+            newline = buffer.find(b"\n", start)
+            if newline < 0:
+                break
+            line = bytes(buffer[start:newline])
+            start = newline + 1
+            if overflowed:
+                # ``line`` is the tail of a line whose head was already
+                # discarded: report the oversize, drop the fragment.
+                overflowed = False
+                yield None
+            elif len(line) > limit:
+                yield None
+            elif line:
+                yield line
+        if start:
+            del buffer[:start]
+        if len(buffer) > limit:
+            buffer.clear()
+            overflowed = True
+    if overflowed:
+        yield None
+    elif len(buffer) > limit:
+        yield None
+    elif buffer:
+        yield bytes(buffer)
 
 
 def encode(message: Dict[str, Any]) -> bytes:

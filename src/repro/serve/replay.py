@@ -34,8 +34,11 @@ from repro.serve.sessions import SessionConfig, SessionManager
 
 __all__ = [
     "ReplayOutcome",
+    "applied_event_offsets",
     "drive_reference_session",
+    "reference_merged",
     "reference_result",
+    "resume_workload",
     "run_replay",
 ]
 
@@ -76,7 +79,7 @@ async def _boot(
     return server, client, port
 
 
-async def _applied_events(
+async def applied_event_offsets(
     client: ServiceClient, workload: Workload
 ) -> Dict[str, int]:
     """Events already applied per session, from restored ``applied`` counters.
@@ -97,7 +100,7 @@ async def _applied_events(
     return offsets
 
 
-def _resume_workload(workload: Workload, offsets: Dict[str, int]) -> Workload:
+def resume_workload(workload: Workload, offsets: Dict[str, int]) -> Workload:
     """The unapplied suffix: skip each session's first ``offsets[s]`` events."""
     seen: Dict[str, int] = {name: 0 for name in workload.sessions}
     events: List[Tuple[str, int, str]] = []
@@ -164,8 +167,8 @@ async def run_replay(
             )
             for name, managed in server.manager.sessions.items():
                 checkpoints_restored[name] = managed.counters.windows
-            offsets = await _applied_events(client, workload)
-            resumed = _resume_workload(workload, offsets)
+            offsets = await applied_event_offsets(client, workload)
+            resumed = resume_workload(workload, offsets)
             resumed_pass = await run_ingest(
                 client, resumed, mode=mode, batch_size=batch_size
             )
@@ -211,7 +214,7 @@ async def _verify(
     else:
         details.append("MISMATCH versus uninterrupted served run")
         outcome.verified = False
-    reference = _reference_merged(engine_factory, workload, config)
+    reference = reference_merged(engine_factory, workload, config)
     if actual == reference.to_json():
         details.append("matches direct RTECSession reference")
     else:
@@ -220,7 +223,7 @@ async def _verify(
     outcome.verify_detail = "; ".join(details)
 
 
-def _reference_merged(
+def reference_merged(
     engine_factory: EngineFactory,
     workload: Workload,
     config: SessionConfig,

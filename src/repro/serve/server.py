@@ -17,16 +17,20 @@ exercises exactly the code paths of a long-lived TCP deployment.
 from __future__ import annotations
 
 import asyncio
+import signal
 import sys
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Set
 
+from repro import telemetry
 from repro.serve.checkpoint import CheckpointError
 from repro.serve.protocol import (
+    MAX_LINE_BYTES,
     ProtocolError,
     decode_line,
     encode,
     error_response,
     ok_response,
+    read_protocol_lines,
     require_intervals,
     require_session,
     require_time,
@@ -36,7 +40,11 @@ from repro.serve.sessions import SessionManager
 __all__ = ["RecognitionServer"]
 
 #: Above this many bytes per line, the reader rejects instead of buffering.
-_LINE_LIMIT = 1 << 20
+_LINE_LIMIT = MAX_LINE_BYTES
+
+#: Protocol error codes counted as ``protocol.reject``: junk the framing
+#: layer turned into a structured response instead of a torn connection.
+_REJECT_CODES = frozenset({"bad-json", "oversized"})
 
 
 class RecognitionServer:
@@ -46,6 +54,8 @@ class RecognitionServer:
         self.manager = manager
         self.shutdown_requested: "asyncio.Event" = asyncio.Event()
         self._tcp_server: Optional[asyncio.AbstractServer] = None
+        self._connections: "Set[asyncio.StreamWriter]" = set()
+        self._connection_tasks: "Set[asyncio.Task[None]]" = set()
 
     # -- transports ------------------------------------------------------------
 
@@ -76,14 +86,45 @@ class RecognitionServer:
             asyncio.streams.FlowControlMixin, sys.stdout
         )
         writer = asyncio.StreamWriter(transport, protocol, None, loop)
-        await self.handle_connection(reader, writer)
+        connection = asyncio.ensure_future(self.handle_connection(reader, writer))
+        shutdown = asyncio.ensure_future(self.shutdown_requested.wait())
+        # A signal must not wait for stdin EOF: race the connection against
+        # the shutdown event, then stop the manager either way (its workers
+        # write their graceful final checkpoints there).
+        await asyncio.wait({connection, shutdown}, return_when=asyncio.FIRST_COMPLETED)
+        if not connection.done():
+            connection.cancel()
+            try:
+                await connection
+            except asyncio.CancelledError:
+                pass
+        shutdown.cancel()
         await self.manager.stop()
+
+    def install_signal_handlers(self) -> None:
+        """Turn SIGTERM/SIGINT into a graceful shutdown request.
+
+        The serving coroutines react to :attr:`shutdown_requested` by
+        draining and stopping the manager, whose session workers write a
+        final checkpoint each — so an operator ``kill`` (or Ctrl-C) leaves
+        every live session restorable, not just those that happened to hit
+        their every-k-windows cadence.
+        """
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.shutdown_requested.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                # Platforms without loop signal support (or non-main
+                # threads) keep the default handlers.
+                break
 
     async def stop(self) -> None:
         if self._tcp_server is not None:
             self._tcp_server.close()
             await self._tcp_server.wait_closed()
             self._tcp_server = None
+        await self._close_connections()
         await self.manager.stop()
 
     async def kill(self) -> None:
@@ -92,22 +133,46 @@ class RecognitionServer:
             self._tcp_server.close()
             await self._tcp_server.wait_closed()
             self._tcp_server = None
+        await self._close_connections()
         await self.manager.kill()
+
+    async def _close_connections(self) -> None:
+        """End open connections by EOF so their handler tasks return.
+
+        Cancelling a ``start_server`` handler task instead would trip
+        asyncio's streams callback ("Exception in callback ...") at loop
+        teardown; closing the transports lets every handler finish its
+        read loop and exit normally before the loop goes away.
+        """
+        for writer in list(self._connections):
+            try:
+                writer.close()
+            except (ConnectionResetError, BrokenPipeError, RuntimeError):
+                pass
+        current = asyncio.current_task()
+        pending = [task for task in self._connection_tasks if task is not current]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
 
     # -- connection handling ---------------------------------------------------
 
     async def handle_connection(
         self, reader: "asyncio.StreamReader", writer: "asyncio.StreamWriter"
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connection_tasks.add(task)
+        self._connections.add(writer)
         try:
-            while not self.shutdown_requested.is_set():
-                try:
-                    line = await reader.readline()
-                except (asyncio.LimitOverrunError, ValueError):
-                    writer.write(encode(error_response("bad-request", "line too long")))
-                    continue
-                if not line:
+            async for line in read_protocol_lines(reader, _LINE_LIMIT):
+                if self.shutdown_requested.is_set():
                     break
+                if line is None:
+                    telemetry.count("protocol.reject")
+                    writer.write(encode(error_response(
+                        "oversized", "line exceeds %d bytes" % _LINE_LIMIT
+                    )))
+                    continue
                 if line.isspace():
                     continue
                 response = await self.dispatch_line(line)
@@ -119,6 +184,9 @@ class RecognitionServer:
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
+            self._connections.discard(writer)
+            if task is not None:
+                self._connection_tasks.discard(task)
             try:
                 writer.close()
             except (ConnectionResetError, BrokenPipeError, RuntimeError):
@@ -130,6 +198,8 @@ class RecognitionServer:
             message = decode_line(line)
             return await self.dispatch(message)
         except ProtocolError as exc:
+            if exc.code in _REJECT_CODES:
+                telemetry.count("protocol.reject")
             return error_response(exc.code, exc.message)
         except CheckpointError as exc:
             return error_response("checkpoint-failed", str(exc))

@@ -36,7 +36,7 @@ both via :mod:`repro.serve.checkpoint`.
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro import telemetry
@@ -120,11 +120,18 @@ class ManagedSession:
         engine: RTECEngine,
         config: SessionConfig,
         checkpoint_dir: Optional[str] = None,
+        owner: Optional[str] = None,
+        lease: Optional[int] = None,
     ) -> None:
         self.name = name
         self.engine = engine
         self.config = config
         self.checkpoint_dir = checkpoint_dir
+        #: Cluster bookkeeping: the worker hosting this session and its
+        #: fencing lease (see :func:`repro.serve.checkpoint.write_checkpoint`).
+        #: Both stay ``None`` outside a cluster, keeping writes unfenced.
+        self.owner = owner
+        self.lease = lease
         self.step = config.resolved_step()
         self.session = RTECSession(
             engine,
@@ -388,6 +395,8 @@ class ManagedSession:
                     windows=windows,
                     description_digest=self.description_digest,
                     keep=self.config.checkpoint_keep,
+                    owner=self.owner,
+                    lease=self.lease,
                 ),
             )
         self.counters.checkpoints += 1
@@ -422,6 +431,8 @@ class ManagedSession:
             "fvps": len(self.session.result),
             "description_hash": self.description_digest,
             "failure": self.failure,
+            "owner": self.owner,
+            "lease": self.lease,
         }
 
     @property
@@ -432,8 +443,13 @@ class ManagedSession:
 class SessionManager:
     """Routes protocol traffic to named sessions and owns their lifecycle."""
 
-    def __init__(self, checkpoint_dir: Optional[str] = None) -> None:
+    def __init__(
+        self, checkpoint_dir: Optional[str] = None, owner: Optional[str] = None
+    ) -> None:
         self.checkpoint_dir = checkpoint_dir
+        #: Worker identity stamped on every hosted session's checkpoints
+        #: (``None`` outside a cluster).
+        self.owner = owner
         self.sessions: Dict[str, ManagedSession] = {}
 
     def add_session(
@@ -442,16 +458,36 @@ class SessionManager:
         engine: RTECEngine,
         config: SessionConfig,
         restore: bool = False,
+        lease: Optional[int] = None,
     ) -> ManagedSession:
-        """Host ``engine`` under ``name``; optionally resume its latest checkpoint."""
+        """Host ``engine`` under ``name``; optionally resume its latest checkpoint.
+
+        ``lease``, when given, fences the session's checkpoint writes (a
+        cluster bumps it on every ownership transfer). With ``restore`` and
+        no explicit lease, the session continues under the lease found in
+        the adopted checkpoint.
+        """
         if name in self.sessions:
             raise ValueError("session %r already exists" % name)
-        managed = ManagedSession(name, engine, config, self.checkpoint_dir)
+        managed = ManagedSession(
+            name, engine, config, self.checkpoint_dir, owner=self.owner, lease=lease
+        )
         if restore and self.checkpoint_dir is not None:
             latest = checkpointing.latest_checkpoint(self.checkpoint_dir, name)
             if latest is not None:
-                managed.adopt(checkpointing.load_checkpoint(latest))
+                loaded = checkpointing.load_checkpoint(latest)
+                managed.adopt(loaded)
+                if lease is None and loaded.lease:
+                    managed.lease = loaded.lease
         self.sessions[name] = managed
+        return managed
+
+    async def remove_session(self, name: str) -> ManagedSession:
+        """Detach ``name``: stop its worker (which writes the graceful final
+        checkpoint when a checkpoint directory is configured) and drop it."""
+        managed = self.get(name)
+        await managed.stop()
+        del self.sessions[name]
         return managed
 
     def get(self, name: str) -> ManagedSession:

@@ -1,0 +1,200 @@
+"""Property tests: placed (per-worker) recognition equals unsplit recognition.
+
+The cluster router splits a stream into entity-closure components and
+places each component onto one worker. The contract is byte-identity: run
+each placement bucket through its own engine, union the detections, and
+the result map must equal recognising the unsplit input — including
+``initially/1`` declarations (replicated per bucket) and ``extra_entities``
+(open initiations a session carries across windows, which must stay
+co-located with their future terminations).
+"""
+
+import copy
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.intervals import IntervalList
+from repro.logic.parser import parse_term
+from repro.rtec import Event, EventDescription, EventStream, InputFluents, RTECEngine
+from repro.rtec.partition import (
+    analyse_partitionability,
+    component_key,
+    place_input,
+    rendezvous_owner,
+    stable_bucket,
+)
+
+RULES = """
+initiatedAt(moving(V)=true, T) :- happensAt(start(V), T).
+terminatedAt(moving(V)=true, T) :- happensAt(stop(V), T).
+
+initiatedAt(escort(V1, V2)=true, T) :-
+    happensAt(start(V1), T),
+    holdsAt(proximity(V1, V2)=true, T).
+terminatedAt(escort(V1, V2)=true, T) :-
+    happensAt(split(V1, V2), T).
+
+maxDuration(moving(V)=true, 15).
+initially(moving(v1)=true).
+"""
+
+VESSELS = ("v1", "v2", "v3", "v4")
+PAIRS = (("v1", "v2"), ("v2", "v3"), ("v3", "v4"), ("v1", "v4"))
+
+DESCRIPTION = EventDescription.from_text(RULES)
+ANALYSIS = analyse_partitionability(DESCRIPTION)
+
+
+def _engine(description=DESCRIPTION):
+    return RTECEngine(description, strict=False)
+
+
+def _build_input(raw_events, raw_proximity):
+    events = []
+    for time, kind, index in raw_events:
+        if kind == "split":
+            left, right = PAIRS[index % len(PAIRS)]
+            term = parse_term("split(%s, %s)" % (left, right))
+        else:
+            term = parse_term("%s(%s)" % (kind, VESSELS[index % len(VESSELS)]))
+        events.append(Event(time, term))
+    merged = {}
+    for index, start, length in raw_proximity:
+        left, right = PAIRS[index % len(PAIRS)]
+        pair = parse_term("proximity(%s, %s)=true" % (left, right))
+        merged.setdefault(pair, []).append((start, start + length))
+    fluents = InputFluents(
+        {pair: IntervalList(spans) for pair, spans in merged.items()}
+    )
+    return EventStream(events), fluents
+
+
+def _recognise_placed(stream, fluents, buckets, extra_entities=(), **recognise_kwargs):
+    """Recognise each placement bucket independently and union the maps.
+
+    Every bucket runs under the *unsplit* input's time bounds — a bucket
+    holding only an ``initially`` component has no events of its own, but
+    in a worker fleet its timeline is the cluster's, not its slice's.
+    """
+    bounds = RTECEngine._bounds(stream, fluents)
+    plan = place_input(
+        stream, fluents, ANALYSIS, buckets,
+        initial_fvps=DESCRIPTION.initial_fvps,
+        extra_entities=extra_entities,
+    )
+    merged = {}
+    for bucket_stream, bucket_fluents, bucket_initials in plan.bucket_inputs():
+        description = copy.copy(DESCRIPTION)
+        description.initial_fvps = list(bucket_initials)
+        result = _engine(description).recognise(
+            bucket_stream, bucket_fluents, bounds=bounds, **recognise_kwargs
+        )
+        for pair, intervals in result.items():
+            if pair in merged:
+                merged[pair] = IntervalList(
+                    sorted(set(merged[pair].as_pairs()) | set(intervals.as_pairs()))
+                )
+            else:
+                merged[pair] = intervals
+    return merged
+
+
+_events = st.lists(
+    st.tuples(
+        st.integers(0, 60),
+        st.sampled_from(("start", "stop", "split")),
+        st.integers(0, 3),
+    ),
+    min_size=1,
+    max_size=25,
+)
+_proximity = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 50), st.integers(1, 20)),
+    max_size=6,
+)
+_extra = st.lists(st.integers(0, 3), max_size=3)
+
+
+class TestPlacedEquivalence:
+    @given(
+        raw_events=_events,
+        raw_proximity=_proximity,
+        buckets=st.integers(1, 4),
+        window=st.integers(5, 40),
+        step=st.integers(1, 10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bucket_union_matches_unsplit(
+        self, raw_events, raw_proximity, buckets, window, step
+    ):
+        stream, fluents = _build_input(raw_events, raw_proximity)
+        sequential = _engine().recognise(stream, fluents, window=window, step=step)
+        placed = _recognise_placed(stream, fluents, buckets, window=window, step=step)
+        assert {pair: intervals.as_pairs() for pair, intervals in placed.items()} == {
+            pair: intervals.as_pairs() for pair, intervals in sequential.items()
+        }
+
+    @given(
+        raw_events=_events,
+        raw_proximity=_proximity,
+        raw_extra=_extra,
+        buckets=st.integers(2, 4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_carried_entities_stay_with_their_component(
+        self, raw_events, raw_proximity, raw_extra, buckets
+    ):
+        # extra_entities model open initiations carried across windows: a
+        # pair a previous window initiated must land in one bucket with
+        # everything its closure touches, even when this window's stream
+        # never mentions it.
+        stream, fluents = _build_input(raw_events, raw_proximity)
+        extra = tuple(
+            (parse_term(PAIRS[index][0]), parse_term(PAIRS[index][1]))
+            for index in raw_extra
+        )
+        sequential = _engine().recognise(stream, fluents)
+        placed = _recognise_placed(stream, fluents, buckets, extra_entities=extra)
+        assert {pair: intervals.as_pairs() for pair, intervals in placed.items()} == {
+            pair: intervals.as_pairs() for pair, intervals in sequential.items()
+        }
+        # And co-location is structural, not accidental: each carried
+        # pair's two vessels appear in at most one bucket's component set.
+        plan = place_input(
+            stream, fluents, ANALYSIS, buckets,
+            initial_fvps=DESCRIPTION.initial_fvps, extra_entities=extra,
+        )
+        for index in raw_extra:
+            owners = {
+                bucket.index
+                for bucket in plan.buckets
+                for key in bucket.components
+                if PAIRS[index][0] in key or PAIRS[index][1] in key
+            }
+            assert len(owners) <= 1
+
+
+class TestPlacementPrimitives:
+    def test_stable_bucket_is_deterministic_and_in_range(self):
+        for buckets in (1, 2, 7):
+            for key in ("v1", "v2", "escort(v1, v2)"):
+                slot = stable_bucket(key, buckets)
+                assert 0 <= slot < buckets
+                assert slot == stable_bucket(key, buckets)
+
+    def test_component_key_is_order_independent(self):
+        a, b = parse_term("v1"), parse_term("v2")
+        assert component_key([a, b]) == component_key([b, a]) == "v1"
+
+    def test_rendezvous_only_moves_the_dead_nodes_keys(self):
+        nodes = ["w0", "w1", "w2", "w3"]
+        keys = ["k%d" % index for index in range(64)]
+        before = {key: rendezvous_owner(key, nodes) for key in keys}
+        survivors = [node for node in nodes if node != "w2"]
+        after = {key: rendezvous_owner(key, survivors) for key in keys}
+        for key in keys:
+            if before[key] == "w2":
+                assert after[key] in survivors
+            else:
+                assert after[key] == before[key]

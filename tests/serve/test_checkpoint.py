@@ -14,6 +14,7 @@ from repro.serve.checkpoint import (
     CheckpointError,
     description_hash,
     latest_checkpoint,
+    latest_lease,
     list_checkpoints,
     load_checkpoint,
     snapshot_from_dict,
@@ -143,6 +144,53 @@ class TestCheckpointFiles:
         )
         assert description_hash(one) == description_hash(EventDescription.from_text(RULES))
         assert description_hash(one) != description_hash(other)
+
+
+class TestOwnershipAndLeases:
+    def _write(self, directory, windows, *, owner=None, lease=None):
+        session = _session_with_state()
+        return write_checkpoint(
+            str(directory), "s0", session.snapshot(),
+            applied=windows, windows=windows,
+            description_digest=description_hash(session.engine.description),
+            owner=owner, lease=lease,
+        )
+
+    def test_owner_and_lease_round_trip(self, tmp_path):
+        path = self._write(tmp_path, 1, owner="w3", lease=7)
+        loaded = load_checkpoint(path)
+        assert loaded.owner == "w3"
+        assert loaded.lease == 7
+
+    def test_unfenced_checkpoints_default_owner_none_lease_zero(self, tmp_path):
+        loaded = load_checkpoint(self._write(tmp_path, 1))
+        assert loaded.owner is None
+        assert loaded.lease == 0
+
+    def test_latest_lease_tracks_the_newest_checkpoint(self, tmp_path):
+        assert latest_lease(str(tmp_path), "s0") == 0
+        self._write(tmp_path, 1, owner="w0", lease=1)
+        self._write(tmp_path, 2, owner="w1", lease=2)
+        assert latest_lease(str(tmp_path), "s0") == 2
+
+    def test_stale_lease_write_is_fenced(self, tmp_path):
+        # The failover sequence: w0 owned the session at lease 1, the
+        # router re-homed it onto w1 at lease 2. A zombie w0 coming back
+        # to write "one last checkpoint" must be refused, or it would
+        # roll the session's durable state back behind the new owner.
+        self._write(tmp_path, 1, owner="w0", lease=1)
+        self._write(tmp_path, 2, owner="w1", lease=2)
+        with pytest.raises(CheckpointError, match="fenced"):
+            self._write(tmp_path, 3, owner="w0", lease=1)
+        # The new owner (and any later lease) still writes fine.
+        self._write(tmp_path, 3, owner="w1", lease=2)
+        self._write(tmp_path, 4, owner="w2", lease=3)
+
+    def test_unfenced_writers_skip_the_lease_check(self, tmp_path):
+        # lease=None is the single-process fast path: no fencing reads.
+        self._write(tmp_path, 1, owner="w0", lease=5)
+        self._write(tmp_path, 2)
+        assert latest_lease(str(tmp_path), "s0") == 0
 
 
 class TestVersionCompatibility:

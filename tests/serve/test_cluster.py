@@ -1,0 +1,308 @@
+"""The distributed serve tier: router, worker fleet, migration, failover.
+
+The spawned-fleet tests boot real worker processes (multiprocessing
+``spawn``), so they keep workloads deliberately tiny; the attach/detach
+control-verb tests run the :class:`WorkerServer` in-process. The crown
+jewel is the kill-a-worker drill: SIGKILL one worker mid-run, let the
+router restore its sessions from their lease-fenced checkpoints onto the
+survivor, and demand byte-identical detections versus an uninterrupted
+single-process run.
+"""
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.fleet import build_fleet_dataset, fleet_gold_event_description
+from repro.serve import (
+    SessionConfig,
+    SessionManager,
+    build_workload,
+    latest_checkpoint,
+    load_checkpoint,
+)
+from repro.serve.cluster import (
+    ClusterRouter,
+    EngineSpec,
+    WorkerServer,
+    gold_engine_spec,
+    run_cluster_replay,
+)
+from repro.serve.loadgen import ServiceClient
+
+SOAK_SPEC = EngineSpec("repro.serve.cluster.engines:soak_engine")
+CONFIG = SessionConfig(window=60, step=60)
+
+
+def _worker_server(tmp_path=None):
+    manager = SessionManager(
+        checkpoint_dir=str(tmp_path) if tmp_path is not None else None, owner="w0"
+    )
+    return WorkerServer(manager, SOAK_SPEC, CONFIG)
+
+
+class TestWorkerControlVerbs:
+    def test_attach_then_detach_roundtrip(self, tmp_path):
+        async def run():
+            server = _worker_server(tmp_path)
+            attached = await server.dispatch(
+                {"type": "attach", "session": "s0", "lease": 3}
+            )
+            assert attached["ok"] and attached["type"] == "attached"
+            assert attached["lease"] == 3
+            assert server.manager.sessions["s0"].owner == "w0"
+            detached = await server.dispatch({"type": "detach", "session": "s0"})
+            assert detached["ok"] and detached["type"] == "detached"
+            assert "s0" not in server.manager.sessions
+            await server.manager.stop()
+
+        asyncio.run(run())
+
+    def test_double_attach_is_an_error(self, tmp_path):
+        async def run():
+            server = _worker_server(tmp_path)
+            await server.dispatch({"type": "attach", "session": "s0"})
+            response = await server.dispatch_line(
+                b'{"type": "attach", "session": "s0"}\n'
+            )
+            assert response["ok"] is False
+            assert response["error"] == "session-exists"
+            await server.manager.stop()
+
+        asyncio.run(run())
+
+    def test_traffic_for_detached_session_is_retryable(self, tmp_path):
+        # A load generator racing a migration must see "try again" (it
+        # will reconnect through the router onto the new owner), never
+        # the terminal no-such-session.
+        async def run():
+            server = _worker_server(tmp_path)
+            await server.dispatch({"type": "attach", "session": "s0"})
+            await server.dispatch({"type": "detach", "session": "s0"})
+            rejected = await server.dispatch({
+                "type": "event", "session": "s0", "time": 5,
+                "term": "start(e0)", "ack": True,
+            })
+            assert rejected["ok"] is False
+            assert rejected["error"] == "backpressure"
+            assert rejected["retry_after"] > 0
+            missing = await server.dispatch_line(
+                b'{"type": "event", "session": "never", "time": 5, '
+                b'"term": "start(e0)", "ack": true}\n'
+            )
+            assert missing["error"] == "no-such-session"
+            await server.manager.stop()
+
+        asyncio.run(run())
+
+
+class TestClusterRouter:
+    def test_recognise_migrate_rebalance(self, tmp_path):
+        async def run():
+            router = ClusterRouter(
+                SOAK_SPEC, CONFIG, workers=2, checkpoint_dir=str(tmp_path)
+            )
+            try:
+                port = await router.start()
+                await router.assign_sessions(["s0", "s1", "s2", "s3"])
+                owned = {wid: len(h.sessions) for wid, h in router.workers.items()}
+                assert owned == {"w0": 2, "w1": 2}
+
+                client = await ServiceClient.connect("127.0.0.1", port)
+                for name in ("s0", "s1", "s2", "s3"):
+                    for t, term in ((5, "start(e0)"), (20, "spike(e0)"), (40, "stop(e0)")):
+                        reply = await client.request({
+                            "type": "event", "session": name, "time": t,
+                            "term": term, "ack": True,
+                        })
+                        assert reply["ok"], reply
+                results = {}
+                for name in ("s0", "s1", "s2", "s3"):
+                    reply = await client.request({"type": "query", "session": name, "at": 60})
+                    assert reply["ok"], reply
+                    results[name] = reply["fvps"]
+                # Shared-nothing placement is invisible to results: every
+                # session saw the same stream, so identical detections.
+                assert results["s0"] == results["s1"] == results["s2"] == results["s3"]
+                assert results["s0"], "soak rules detected nothing"
+
+                # Migrate one session onto the other worker, mid-traffic.
+                victim = router.routes["s0"]
+                target = "w1" if victim == "w0" else "w0"
+                await router.migrate("s0", target)
+                assert router.routes["s0"] == target
+                assert router.leases["s0"] == 2
+                reply = await client.request({
+                    "type": "event", "session": "s0", "time": 70,
+                    "term": "start(e1)", "ack": True,
+                })
+                assert reply["ok"], reply
+                reply = await client.request({"type": "query", "session": "s0", "at": 90})
+                assert reply["ok"], reply
+
+                # Rebalance restores the even spread the migration skewed.
+                moved = await router.rebalance()
+                assert moved >= 1
+                owned = {wid: len(h.sessions) for wid, h in router.workers.items()}
+                assert owned == {"w0": 2, "w1": 2}
+
+                status = await client.request({"type": "status"})
+                assert sorted(status["sessions"]) == ["s0", "s1", "s2", "s3"]
+                assert sorted(status["workers"]) == ["w0", "w1"]
+                for info in status["workers"].values():
+                    assert info["alive"] is True
+                    assert info["sessions"] == 2
+                await client.close()
+            finally:
+                await router.stop()
+
+        asyncio.run(run())
+
+    def test_graceful_stop_checkpoints_every_session(self, tmp_path):
+        async def run():
+            router = ClusterRouter(
+                SOAK_SPEC, CONFIG, workers=2, checkpoint_dir=str(tmp_path)
+            )
+            try:
+                port = await router.start()
+                await router.assign_sessions(["s0", "s1"])
+                client = await ServiceClient.connect("127.0.0.1", port)
+                for name in ("s0", "s1"):
+                    reply = await client.request({
+                        "type": "event", "session": name, "time": 5,
+                        "term": "start(e0)", "ack": True,
+                    })
+                    assert reply["ok"], reply
+                await client.close()
+            finally:
+                await router.stop()
+
+        asyncio.run(run())
+        for name in ("s0", "s1"):
+            path = latest_checkpoint(str(tmp_path), name)
+            assert path is not None, "no checkpoint for %s" % name
+            loaded = load_checkpoint(path)
+            assert loaded.applied == 1
+            assert loaded.owner in ("w0", "w1")
+            assert loaded.lease >= 1
+
+
+class TestSoakWorkload:
+    def test_soak_workload_shape_is_deterministic(self):
+        from repro.serve import build_soak_workload
+
+        one = build_soak_workload(sessions=10, events_per_session=12, seed=7)
+        two = build_soak_workload(sessions=10, events_per_session=12, seed=7)
+        assert one.sessions == ["soak%d" % i for i in range(10)]
+        assert one.events == two.events
+        assert len(one.events) == 120
+        times = [time for _name, time, _term in one.events]
+        assert times == sorted(times)
+
+    def test_soak_through_a_two_worker_fleet(self):
+        # A many-sessions slice of the soak path: every session is cheap,
+        # the point is that the serving fabric (router, placement, per
+        # session queues) handles the fan-out.
+        from repro.serve import build_soak_workload
+
+        workload = build_soak_workload(sessions=24, events_per_session=8)
+        outcome = asyncio.run(run_cluster_replay(
+            SOAK_SPEC, workload, CONFIG, workers=2, batch_size=32,
+        ))
+        assert outcome.final_report.events_accepted == len(workload.events)
+        placed = sorted(
+            len(sessions) for sessions in outcome.placement.values()
+        )
+        assert sum(placed) == 24
+        assert placed[0] == 12, "placement is unbalanced: %r" % outcome.placement
+
+
+@pytest.fixture(scope="module")
+def fleet_workload():
+    dataset = build_fleet_dataset()
+    description = fleet_gold_event_description()
+    return build_workload(
+        dataset.stream, dataset.input_fluents, description, sessions=4, repeat=4
+    )
+
+
+class TestKillAWorkerDrill:
+    def test_no_kill_cluster_matches_reference(self, fleet_workload):
+        outcome = asyncio.run(run_cluster_replay(
+            gold_engine_spec("fleet"),
+            fleet_workload,
+            SessionConfig(window=600, step=300),
+            workers=2,
+            verify=True,
+        ))
+        assert outcome.verified, outcome.verify_detail
+        assert outcome.killed_worker is None
+        assert sum(len(v) for v in outcome.placement.values()) == 4
+
+    def test_kill_and_restore_is_byte_identical(self, fleet_workload, tmp_path):
+        outcome = asyncio.run(run_cluster_replay(
+            gold_engine_spec("fleet"),
+            fleet_workload,
+            SessionConfig(window=600, step=300, checkpoint_every=1),
+            workers=2,
+            checkpoint_dir=str(tmp_path),
+            kill_at=0.5,
+            verify=True,
+        ))
+        assert outcome.killed_worker in ("w0", "w1")
+        assert outcome.restored_sessions, "failover restored nothing"
+        survivor = "w1" if outcome.killed_worker == "w0" else "w0"
+        assert set(outcome.restored_sessions.values()) == {survivor}
+        # All four sessions ended up on the survivor; the victim is empty.
+        assert sorted(outcome.placement[survivor]) == ["s0", "s1", "s2", "s3"]
+        assert outcome.placement[outcome.killed_worker] == []
+        assert outcome.resumed_pass is not None
+        assert outcome.verified, outcome.verify_detail
+
+
+class TestServeSignals:
+    def test_sigterm_checkpoints_every_live_session(self, tmp_path):
+        # The operator story: `kill` on a serving process must leave every
+        # session restorable, not just those that hit their every-k-windows
+        # checkpoint cadence (here: none — checkpoint_every is 0).
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", "--gold", "fleet",
+                "--tcp", "127.0.0.1:0", "--sessions", "2",
+                "--checkpoint-dir", str(tmp_path),
+                "--window", "600", "--step", "300",
+            ],
+            env=env, stderr=subprocess.PIPE,
+        )
+        try:
+            banner = process.stderr.readline().decode()
+            assert "serving RTEC recognition on" in banner
+            port = int(banner.rsplit(":", 1)[1].split()[0])
+
+            async def drive():
+                client = await ServiceClient.connect("127.0.0.1", port)
+                for name in ("s0", "s1"):
+                    reply = await client.request({
+                        "type": "event", "session": name, "time": 10,
+                        "term": "stop_start(van1)", "ack": True,
+                    })
+                    assert reply["ok"], reply
+                await client.close()
+
+            asyncio.run(drive())
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=60) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+        for name in ("s0", "s1"):
+            path = latest_checkpoint(str(tmp_path), name)
+            assert path is not None, "no checkpoint for %s" % name
+            assert load_checkpoint(path).applied == 1
