@@ -47,6 +47,12 @@ _EXPORTS = {
     "semantic_pass": "semantics",
     "OptimisationResult": "optimize",
     "optimise_description": "optimize",
+    "AnalysisCertificate": "certify",
+    "RuleCertificate": "certify",
+    "certify_description": "certify",
+    "certify_text": "certify",
+    "description_digest": "certify",
+    "prove_rule_delta_safety": "certify",
 }
 
 __all__ = sorted(_EXPORTS)

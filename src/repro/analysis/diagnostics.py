@@ -69,6 +69,13 @@ CATEGORY_CODES: Dict[str, Tuple[str, Severity]] = {
     "unreachable-fluent": ("RTEC022", Severity.WARNING),
     "unreachable-output": ("RTEC023", Severity.WARNING),
     "dead-termination": ("RTEC024", Severity.WARNING),
+    # Certification layer (repro.analysis.certify).
+    "delta-unsafe-condition": ("RTEC025", Severity.WARNING),
+    "delta-unsafe-head": ("RTEC026", Severity.WARNING),
+    "leaky-fluent": ("RTEC027", Severity.WARNING),
+    "leaky-interval-flow": ("RTEC028", Severity.WARNING),
+    "costly-rule": ("RTEC029", Severity.INFO),
+    "uncertifiable": ("RTEC030", Severity.ERROR),
 }
 
 #: Fallback for categories outside the table (kept permissive so ad-hoc

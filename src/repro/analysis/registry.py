@@ -33,7 +33,7 @@ DOCS_URI = "https://github.com/aartikis/RTEC/blob/master/DESIGN.md"
 
 #: Codes the repair loop does *not* feed back to the model: informational
 #: lints that describe a property of the description rather than a defect.
-_NOT_REPAIRABLE = frozenset({"RTEC015"})
+_NOT_REPAIRABLE = frozenset({"RTEC015", "RTEC029", "RTEC030"})
 
 
 @dataclass(frozen=True)
@@ -254,6 +254,63 @@ LINT_RULES: Dict[str, LintRule] = {
             "termination points are discarded unpaired; the attached fix "
             "removes the rule.",
             fixable=True,
+        ),
+        _rule(
+            "RTEC025",
+            "delta-unsafe temporal condition",
+            "The delta-safety prover could not anchor a temporal condition "
+            "(happensAt/holdsAt) to the rule's firing time: under "
+            "incremental window evaluation the condition can reach back "
+            "before the previous query time, where events are no longer in "
+            "the delta stream. Anchor the condition's time to the head time "
+            "(reuse the variable or add an =:= equality); until then "
+            "sessions fall back to full-window recomputation.",
+        ),
+        _rule(
+            "RTEC026",
+            "delta-unsafe head anchoring",
+            "The rule's head time is not provably equal to the time of its "
+            "seeding happensAt condition (or the rule does not compile to a "
+            "seeded plan at all), so the delta-safety prover cannot bound "
+            "which window advances may fire it.",
+        ),
+        _rule(
+            "RTEC027",
+            "leaky fluent",
+            "Memory-boundedness analysis found a reachable initiated value "
+            "of a simple fluent with no live termination mechanism: no "
+            "reachable terminatedAt rule matches it, no maxDuration "
+            "deadline covers it, and no other reachable value of the same "
+            "fluent can displace it. Once initiated it holds (and is "
+            "carried across windows) forever.",
+        ),
+        _rule(
+            "RTEC028",
+            "leaky interval flow",
+            "Abstract interpretation over the interval operators shows a "
+            "statically determined fluent derives its intervals from a "
+            "leaky fluent (union_all propagates any leaky input, "
+            "intersect_all only all-leaky inputs, relative_complement_all "
+            "its first operand): its cached state inherits the unbounded "
+            "growth.",
+        ),
+        _rule(
+            "RTEC029",
+            "costly rule",
+            "The static cost model estimates an unusually high evaluation "
+            "cost for this rule (large join fan-out over enumerating "
+            "conditions, or window-sensitive cost because a temporal "
+            "condition scans the whole window). Informational: the weight "
+            "feeds session placement and the optimiser.",
+        ),
+        _rule(
+            "RTEC030",
+            "uncertifiable description",
+            "Certification could not analyse the description as a whole "
+            "(base analysis errors such as syntax/cycles, or malformed "
+            "rules), so no delta-safety, memory-boundedness or cost "
+            "guarantees are attached. Fix the underlying error diagnostics "
+            "first.",
         ),
     )
 }

@@ -217,6 +217,50 @@ def build_parser() -> argparse.ArgumentParser:
         "writing anything (required for --gold targets)",
     )
 
+    certify = sub.add_parser(
+        "certify",
+        help="certify an event description: delta safety, memory "
+        "boundedness, static cost",
+        description="Run the repro.analysis.certify whole-description "
+        "certification: the delta-safety prover (RTEC025/026), the "
+        "memory-boundedness analysis (RTEC027/028) and the static cost "
+        "model (RTEC029), emitting a signed AnalysisCertificate bound to "
+        "the description hash.",
+    )
+    certify.add_argument("path", nargs="?", help="file with RTEC rules")
+    certify.add_argument(
+        "--gold",
+        choices=("maritime", "fleet"),
+        help="certify a built-in gold event description instead of a file",
+    )
+    certify.add_argument(
+        "--no-vocabulary",
+        action="store_true",
+        help="skip maritime vocabulary checks (weakens the reachability "
+        "facts the memory-boundedness analysis uses)",
+    )
+    certify.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format: human-readable text, the signed certificate "
+        "JSON, or SARIF 2.1.0 of the certification diagnostics "
+        "(default: text)",
+    )
+    certify.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "info", "never"),
+        default="error",
+        help="exit non-zero when a certification diagnostic at or above "
+        "this severity is reported (default: error)",
+    )
+    certify.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="also write the signed certificate JSON to FILE",
+    )
+
     validate = sub.add_parser(
         "validate",
         help="(deprecated: use 'repro lint') validate an RTEC event description file",
@@ -349,6 +393,12 @@ def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-incremental", dest="incremental", action="store_false", default=True,
         help="recompute the full window on every advance instead of the "
         "incremental (delta) evaluation (the verification oracle)",
+    )
+    parser.add_argument(
+        "--certify", choices=("off", "warn", "require"), default="warn",
+        help="certificate-gated session admission: 'warn' records "
+        "admission warnings for uncertifiable/leaky descriptions in the "
+        "session status, 'require' rejects them (default: warn)",
     )
     _add_backend_argument(parser)
 
@@ -709,6 +759,62 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if report.at_or_above(threshold) else 0
 
 
+def _cmd_certify(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import Severity, certify_description, certify_text, to_sarif
+
+    if (args.path is None) == (args.gold is None):
+        print("error: give exactly one of PATH or --gold", file=sys.stderr)
+        return 2
+    if args.gold is not None:
+        from repro.logic.parser import clause_lines
+
+        description, vocabulary, outputs, source = _gold_lint_target(args.gold)
+        if args.no_vocabulary:
+            vocabulary = None
+        text = description.to_text()
+        certificate = certify_description(
+            description, vocabulary, outputs=sorted(outputs)
+        )
+        rule_lines = clause_lines(text)
+    else:
+        source = args.path
+        try:
+            with open(args.path) as handle:
+                text = handle.read()
+        except OSError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+        vocabulary = None if args.no_vocabulary else MARITIME_VOCABULARY
+        certificate, rule_lines = certify_text(text, vocabulary)
+    report = certificate.report(source=source, rule_lines=rule_lines)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(certificate.to_json())
+            handle.write("\n")
+    if args.format == "json":
+        print(certificate.to_json())
+    elif args.format == "sarif":
+        print(json.dumps(to_sarif(report, source_text=text), indent=2))
+    else:
+        print(report.format_text())
+        print()
+        print("certificate: %s" % certificate.summary())
+        print("description hash: %s" % certificate.description_hash)
+        print("signature:        %s" % certificate.signature)
+        if certificate.leaky_fluents:
+            print("leaky fluents:    %s" % ", ".join(certificate.leaky_fluents))
+    if args.fail_on == "never":
+        return 0
+    threshold = {
+        "error": Severity.ERROR,
+        "warning": Severity.WARNING,
+        "info": Severity.INFO,
+    }[args.fail_on]
+    return 1 if report.at_or_above(threshold) else 0
+
+
 def _lint_fix(args: argparse.Namespace, report, description, source: str) -> int:
     """Apply (or, with ``--diff``, preview) the report's attached fixes.
 
@@ -818,6 +924,7 @@ def _serving_config(args: argparse.Namespace):
         checkpoint_keep=args.checkpoint_keep,
         incremental=args.incremental,
         backend=args.backend,
+        certify=args.certify,
     )
 
 
@@ -1041,6 +1148,7 @@ _COMMANDS = {
     "diff": _cmd_diff,
     "profile": _cmd_profile,
     "lint": _cmd_lint,
+    "certify": _cmd_certify,
     "validate": _cmd_validate,
     "serve": _cmd_serve,
     "replay": _cmd_replay,

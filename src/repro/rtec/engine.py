@@ -25,7 +25,7 @@ from repro.intervals import backend as kernel_backend
 from repro.logic.knowledge import KnowledgeBase
 from repro.logic.terms import Compound, Term
 from repro.rtec.description import EventDescription, Vocabulary, fluent_key
-from repro.rtec.errors import EvaluationError, InvalidEventDescriptionError
+from repro.rtec.errors import InvalidEventDescriptionError
 from repro.rtec.result import RecognitionResult
 from repro.rtec.simple import evaluate_simple_fluent
 from repro.rtec.static import evaluate_static_fluent
@@ -81,8 +81,32 @@ class RTECEngine:
         self._optimised: Dict[frozenset, "RTECEngine"] = {}
         #: The OptimisationResult this engine was built from, if any.
         self.optimisation = None
-        #: Lazily computed delta-evaluation diagnostics (None: not yet run).
+        #: Lazily computed delta-evaluation diagnostics (None: not yet run),
+        #: with the description fingerprint they were computed for.
         self._delta_diagnostics: Optional[List[str]] = None
+        self._delta_fingerprint: Optional[Tuple[int, ...]] = None
+        #: Lazily computed analysis certificate, fingerprinted the same way.
+        self._certificate = None
+        self._certificate_fingerprint: Optional[Tuple[int, ...]] = None
+
+    def _description_fingerprint(self) -> Tuple[int, ...]:
+        """Identity fingerprint of the loaded description's defining rules.
+
+        Rules are immutable (frozen dataclasses), so swapping the
+        description object or mutating its rule lists — as ``repair``
+        rewrites and hand edits do — changes the fingerprint, invalidating
+        cached analyses that were computed for the old rules.
+        """
+        parts: List[int] = [id(self.description)]
+        for _key, definition in sorted(self.description.simple_fluents.items()):
+            for rule in definition.initiated_rules:
+                parts.append(id(rule))
+            for rule in definition.terminated_rules:
+                parts.append(id(rule))
+        for _key, static_definition in sorted(self.description.static_fluents.items()):
+            for rule in static_definition.rules:
+                parts.append(id(rule))
+        return tuple(parts)
 
     def delta_diagnostics(self) -> List[str]:
         """Why incremental (delta) window evaluation is unsafe; empty = safe.
@@ -90,38 +114,63 @@ class RTECEngine:
         Delta evaluation re-runs the simple-fluent rules over only the
         events newer than the previous query time and repairs the cached
         derivations. That is sound exactly when every rule's firing points
-        after the previous query time depend only on input newer than it —
-        i.e. when every ``initiatedAt``/``terminatedAt`` rule is
-        *time-anchored* (see :func:`repro.rtec.compile.rule_time_anchored`).
-        Statically determined fluents need no per-rule check: their interval
-        constructs (union, intersection, relative complement) are pointwise
-        in time, so recomputing them over the repaired store is always
-        faithful. The result is computed once and cached; sessions consult
-        it to decide between the delta path and full recomputation.
+        after the previous query time depend only on input newer than it.
+        The check is the certification layer's delta-safety prover
+        (:func:`repro.analysis.certify.prove_rule_delta_safety`), which
+        generalises :func:`repro.rtec.compile.rule_time_anchored` with
+        time-variable equality classes: a condition anchored through a
+        positive ``=:=`` chain to the head time is as safe as one reusing
+        the head time variable verbatim. Statically determined fluents need
+        no per-rule check: their interval constructs (union, intersection,
+        relative complement) are pointwise in time, so recomputing them
+        over the repaired store is always faithful.
+
+        The result is cached against a fingerprint of the description's
+        rule objects, so mutating the loaded description (repair rewrites,
+        appended rules) recomputes it; sessions consult it to decide
+        between the delta path and full recomputation.
         """
-        if self._delta_diagnostics is not None:
+        fingerprint = self._description_fingerprint()
+        if (
+            self._delta_diagnostics is not None
+            and self._delta_fingerprint == fingerprint
+        ):
             return self._delta_diagnostics
-        from repro.rtec.compile import compile_rule, rule_time_anchored
+        from repro.analysis.certify import prove_rule_delta_safety
 
         diagnostics: List[str] = []
         for key, definition in self.description.simple_fluents.items():
             for rule in definition.initiated_rules + definition.terminated_rules:
-                try:
-                    plan = compile_rule(rule)
-                except EvaluationError as exc:
-                    diagnostics.append(
-                        "%s/%d: rule %r does not compile (%s)"
-                        % (key[0], key[1], rule.head, exc)
-                    )
-                    continue
-                if not rule_time_anchored(plan):
-                    diagnostics.append(
-                        "%s/%d: rule %r is not time-anchored (a temporal "
-                        "condition can reach back before the previous query "
-                        "time)" % (key[0], key[1], rule.head)
+                safe, problems = prove_rule_delta_safety(rule)
+                if not safe:
+                    diagnostics.extend(
+                        "%s/%d: %s" % (key[0], key[1], problem.message)
+                        for problem in problems
                     )
         self._delta_diagnostics = diagnostics
+        self._delta_fingerprint = fingerprint
         return diagnostics
+
+    def certificate(self):
+        """The description's :class:`repro.analysis.certify.AnalysisCertificate`.
+
+        Computed lazily (full certification runs the semantic passes, which
+        cost more than engine construction should) and cached against the
+        same description fingerprint as :meth:`delta_diagnostics`.
+        """
+        fingerprint = self._description_fingerprint()
+        if (
+            self._certificate is not None
+            and self._certificate_fingerprint == fingerprint
+        ):
+            return self._certificate
+        from repro.analysis.certify import certify_description
+
+        self._certificate = certify_description(
+            self.description, self.vocabulary, kb=self.kb
+        )
+        self._certificate_fingerprint = fingerprint
+        return self._certificate
 
     @staticmethod
     def _bounds(

@@ -150,6 +150,13 @@ class ClusterRouter:
         }
         self.routes: Dict[str, str] = {}
         self.leases: Dict[str, int] = {}
+        #: Per-session placement weights (static cost from the description's
+        #: analysis certificate). Sessions absent from the map fall back to
+        #: the fleet default weight, which is certified lazily from the
+        #: engine spec — so a homogeneous fleet (every session running the
+        #: same description) degenerates exactly to session counting.
+        self.session_weights: Dict[str, float] = {}
+        self._default_weight: Optional[float] = None
         #: Migration gates: present while a session is moving; traffic waits.
         self.gates: Dict[str, "asyncio.Event"] = {}
         self.shutdown_requested: "asyncio.Event" = asyncio.Event()
@@ -325,20 +332,52 @@ class ClusterRouter:
             wid: sorted(handle.sessions) for wid, handle in self.workers.items()
         }
 
+    def session_weight(self, session: str) -> float:
+        """The placement weight of one session.
+
+        Explicit per-session weights (``session_weights``) win; otherwise
+        the fleet default applies: the static cost of the engine spec's
+        description, certified once (``repro.analysis.certify``) and cached.
+        Certificate weights are always positive, so with a homogeneous
+        fleet weighted placement is *identical* to session counting — the
+        weights only start steering once descriptions (and their certified
+        costs) differ.
+        """
+        weight = self.session_weights.get(session)
+        if weight is not None:
+            return weight if weight > 0 else 1.0
+        if self._default_weight is None:
+            self._default_weight = 1.0
+            try:
+                engine = self.engine_spec.create()
+                self._default_weight = engine.certificate().placement_weight
+            except Exception:  # pragma: no cover - placement must never fail
+                pass
+        return self._default_weight
+
+    def worker_load(self, worker_id: str) -> float:
+        """Summed certified weight of the sessions a worker hosts."""
+        return sum(
+            self.session_weight(session)
+            for session in self.workers[worker_id].sessions
+        )
+
     def _place(self, session: str) -> str:
         """Load-aware rendezvous: least-loaded live workers, hash tie-break.
 
         Pure rendezvous hashing balances poorly at fleet-scale-few (four
         sessions can all land on one of two workers); restricting the hash
-        to the currently least-loaded workers bounds the session-count
-        imbalance to one while keeping placement deterministic and
-        affinity-preserving for everything the hash does decide.
+        to the currently least-loaded workers bounds the load imbalance
+        while keeping placement deterministic and affinity-preserving for
+        everything the hash does decide. Load is the summed *certified
+        static cost* of each worker's sessions (see :meth:`session_weight`),
+        seeding cost-aware placement before any runtime telemetry exists.
         """
         live = self.live_workers()
         if not live:
             raise RuntimeError("no live workers to place sessions on")
-        low = min(len(self.workers[wid].sessions) for wid in live)
-        candidates = [wid for wid in live if len(self.workers[wid].sessions) == low]
+        low = min(self.worker_load(wid) for wid in live)
+        candidates = [wid for wid in live if self.worker_load(wid) <= low]
         return rendezvous_owner(session, candidates)
 
     async def assign_sessions(self, names: List[str], restore: bool = False) -> None:
@@ -399,19 +438,19 @@ class ClusterRouter:
         """Re-place every session as a fresh balanced assignment would.
 
         Recomputes the load-aware rendezvous placement of all sessions (in
-        sorted order, over empty load counts) and migrates each session
+        sorted order, over empty weighted loads) and migrates each session
         that sits elsewhere; returns how many moved. Deterministic, and a
         no-op for a fleet that is already balanced.
         """
         live = self.live_workers()
-        counts = {wid: 0 for wid in live}
+        loads = {wid: 0.0 for wid in live}
         targets: Dict[str, str] = {}
         for session in sorted(self.routes):
-            low = min(counts.values())
-            candidates = [wid for wid in live if counts[wid] == low]
+            low = min(loads.values())
+            candidates = [wid for wid in live if loads[wid] <= low]
             target = rendezvous_owner(session, candidates)
             targets[session] = target
-            counts[target] += 1
+            loads[target] += self.session_weight(session)
         moved = 0
         for session, target in sorted(targets.items()):
             if self.routes.get(session) != target:

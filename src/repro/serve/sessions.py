@@ -80,6 +80,11 @@ class SessionConfig:
     #: (``RTECSession(backend=)``): ``"pure"``, ``"columnar"``, or ``None``
     #: for the ambient process-wide backend.
     backend: Optional[str] = None
+    #: Certificate-gated admission (``repro.analysis.certify``): ``"off"``
+    #: skips certification, ``"warn"`` (default) records admission warnings
+    #: for uncertifiable/leaky descriptions in the session status, and
+    #: ``"require"`` rejects them at session creation.
+    certify: str = "warn"
 
     def resolved_step(self) -> int:
         step = self.window if self.step is None else self.step
@@ -141,6 +146,31 @@ class ManagedSession:
             backend=config.backend,
         )
         self.description_digest = checkpointing.description_hash(engine.description)
+        #: The description's analysis certificate (None when admission is off).
+        self.certificate = None
+        #: Why admission flagged this description (empty = clean or off).
+        self.admission_warnings: List[str] = []
+        if config.certify not in ("off", "warn", "require"):
+            raise ValueError(
+                "certify must be 'off', 'warn' or 'require', not %r" % config.certify
+            )
+        if config.certify != "off":
+            certificate = engine.certificate()
+            self.certificate = certificate
+            if not certificate.certified:
+                self.admission_warnings.append(
+                    "description is uncertifiable (base analysis errors)"
+                )
+            if not certificate.memory_bounded:
+                self.admission_warnings.append(
+                    "description has leaky fluents: %s"
+                    % ", ".join(certificate.leaky_fluents)
+                )
+            if self.admission_warnings and config.certify == "require":
+                raise ValueError(
+                    "session %r rejected by certificate-gated admission: %s"
+                    % (name, "; ".join(self.admission_warnings))
+                )
         self.counters = _Counters()
         self.next_query: Optional[int] = None
         self.failure: Optional[str] = None
@@ -410,7 +440,7 @@ class ManagedSession:
 
     def status(self) -> Dict[str, Any]:
         counters = self.counters
-        return {
+        status: Dict[str, Any] = {
             "window": self.config.window,
             "step": self.step,
             "jobs": self.config.jobs,
@@ -434,6 +464,14 @@ class ManagedSession:
             "owner": self.owner,
             "lease": self.lease,
         }
+        if self.certificate is not None:
+            status["certified"] = self.certificate.certified
+            status["delta_safe"] = self.certificate.delta_safe
+            status["memory_bounded"] = self.certificate.memory_bounded
+            status["cost_weight"] = self.certificate.placement_weight
+        if self.admission_warnings:
+            status["admission_warnings"] = list(self.admission_warnings)
+        return status
 
     @property
     def result(self) -> RecognitionResult:

@@ -164,6 +164,37 @@ class TestSarif:
             assert rule is not None
             assert rule.help_uri.endswith(code.lower())
 
+    def test_certification_codes_are_documented_rules(self):
+        for code in ("RTEC0%d" % number for number in range(25, 31)):
+            rule = rule_for(code)
+            assert rule is not None
+            assert rule.help_uri.endswith(code.lower())
+
+    def test_certification_diagnostics_carry_sarif_metadata(self):
+        report = LintReport(
+            [
+                Diagnostic("delta-unsafe-condition", "unanchored", 1, 2),
+                Diagnostic("leaky-fluent", "no termination", 0),
+                Diagnostic("costly-rule", "fan-out", 3),
+                Diagnostic("uncertifiable", "base errors"),
+            ]
+        )
+        sarif = to_sarif(report)
+        run = sarif["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        by_id = {rule["id"]: rule for rule in rules}
+        for code in ("RTEC025", "RTEC027", "RTEC029", "RTEC030"):
+            assert by_id[code]["helpUri"].endswith(code.lower())
+        rule_ids = [rule["id"] for rule in rules]
+        for result in run["results"]:
+            assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+        levels = {
+            result["ruleId"]: result["level"] for result in run["results"]
+        }
+        assert levels["RTEC025"] == "warning"
+        assert levels["RTEC029"] == "note"
+        assert levels["RTEC030"] == "error"
+
     def test_rule_metadata_carries_repair_properties(self):
         sarif = to_sarif(LintReport([]))
         by_id = {
@@ -173,6 +204,12 @@ class TestSarif:
         assert by_id["RTEC016"] == {"repair": "auto", "fixable": True}
         assert by_id["RTEC015"] == {"repair": None, "fixable": False}
         assert by_id["RTEC003"] == {"repair": "prompt", "fixable": False}
+        # Certification-layer informational codes are not repairable.
+        assert by_id["RTEC029"] == {"repair": None, "fixable": False}
+        assert by_id["RTEC030"] == {"repair": None, "fixable": False}
+        # The delta/leak warnings feed the repair prompt.
+        assert by_id["RTEC025"] == {"repair": "prompt", "fixable": False}
+        assert by_id["RTEC027"] == {"repair": "prompt", "fixable": False}
 
 
 def _apply_sarif_fix(text, fix_object):

@@ -73,11 +73,16 @@ def _build_input(raw_events, raw_proximity):
 def _recognise_placed(stream, fluents, buckets, extra_entities=(), **recognise_kwargs):
     """Recognise each placement bucket independently and union the maps.
 
-    Every bucket runs under the *unsplit* input's time bounds — a bucket
-    holding only an ``initially`` component has no events of its own, but
-    in a worker fleet its timeline is the cluster's, not its slice's.
+    Every bucket runs under the *unsplit* input's time bounds and the
+    *unsplit* description's first-window extension (exactly what the
+    sharded executor passes its shards) — a bucket holding only an
+    ``initially`` component has no events of its own, but in a worker
+    fleet its timeline is the cluster's, not its slice's, and a bucket
+    stripped of every ``initially`` declaration must still walk the same
+    extended first window the unsplit run walks.
     """
     bounds = RTECEngine._bounds(stream, fluents)
+    extend_first_window = bool(DESCRIPTION.initial_fvps)
     plan = place_input(
         stream, fluents, ANALYSIS, buckets,
         initial_fvps=DESCRIPTION.initial_fvps,
@@ -88,7 +93,8 @@ def _recognise_placed(stream, fluents, buckets, extra_entities=(), **recognise_k
         description = copy.copy(DESCRIPTION)
         description.initial_fvps = list(bucket_initials)
         result = _engine(description).recognise(
-            bucket_stream, bucket_fluents, bounds=bounds, **recognise_kwargs
+            bucket_stream, bucket_fluents, bounds=bounds,
+            extend_first_window=extend_first_window, **recognise_kwargs
         )
         for pair, intervals in result.items():
             if pair in merged:

@@ -145,6 +145,69 @@ def _subsumed_mutation(tmp_path):
     return path
 
 
+class TestCertify:
+    def test_golds_certify_clean_at_warning(self, capsys):
+        assert main(["certify", "--gold", "maritime", "--fail-on", "warning"]) == 0
+        out = capsys.readouterr().out
+        assert "certified, delta-safe, memory-bounded" in out
+        assert main(["certify", "--gold", "fleet", "--fail-on", "warning"]) == 0
+        assert "certified, delta-safe, memory-bounded" in capsys.readouterr().out
+
+    def test_json_format_is_a_signed_certificate(self, capsys):
+        import json
+
+        from repro.analysis import AnalysisCertificate
+
+        assert main(["certify", "--gold", "fleet", "--format", "json"]) == 0
+        certificate = AnalysisCertificate.from_json(capsys.readouterr().out)
+        assert certificate.verify()
+        assert certificate.delta_safe and certificate.memory_bounded
+        assert json.loads(certificate.to_json())["signature"] == certificate.signature
+
+    def test_sarif_format_validates(self, capsys):
+        import json
+
+        assert main(["certify", "--gold", "maritime", "--format", "sarif"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["version"] == "2.1.0"
+        assert data["runs"][0]["tool"]["driver"]["rules"] is not None
+
+    def test_leaky_file_fails_on_warning(self, tmp_path, capsys):
+        path = tmp_path / "rules.prolog"
+        path.write_text(
+            "initiatedAt(hot(V)=true, T) :- happensAt(gap_start(V), T).\n"
+        )
+        assert main(["certify", str(path), "--fail-on", "warning"]) == 1
+        out = capsys.readouterr().out
+        assert "RTEC027" in out
+        assert "LEAKY" in out
+
+    def test_output_writes_certificate_json(self, tmp_path, capsys):
+        from repro.analysis import AnalysisCertificate
+
+        target = tmp_path / "certificate.json"
+        assert main(
+            ["certify", "--gold", "fleet", "--output", str(target)]
+        ) == 0
+        certificate = AnalysisCertificate.from_json(target.read_text())
+        assert certificate.verify()
+
+    def test_requires_exactly_one_target(self, capsys):
+        assert main(["certify"]) == 2
+        assert main(["certify", "x", "--gold", "maritime"]) == 2
+
+    def test_missing_file(self):
+        assert main(["certify", "/nonexistent/rules.prolog"]) == 2
+
+    def test_explain_covers_certification_codes(self, capsys):
+        for code in ("RTEC025", "RTEC026", "RTEC027", "RTEC028", "RTEC029",
+                     "RTEC030"):
+            assert main(["lint", "--explain", code]) == 0
+            out = capsys.readouterr().out
+            assert code in out
+            assert code.lower() in out  # the docs anchor
+
+
 class TestLintFix:
     def test_select_filters_diagnostics(self, tmp_path, capsys):
         path = _subsumed_mutation(tmp_path)
